@@ -1,0 +1,222 @@
+package omega
+
+// This file holds the benchmark harness of DESIGN.md §4: one testing.B
+// benchmark per paper table/figure (plus the ablations). Each benchmark
+// regenerates its artifact and reports the artifact's headline number as
+// a custom metric, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation and prints the measured shape next to wall-clock cost.
+//
+// Benchmarks default to a reduced scale (2^12 vertices) so the full sweep
+// finishes quickly; set -benchtime=1x for single runs.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"omega/internal/experiments"
+)
+
+// benchOpts is the shared reduced-scale configuration.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 12, Seed: 42, Coverage: 0.20}
+}
+
+// lastNoteMetric extracts the first float in the final note of a table —
+// the convention the runners use for their headline number.
+func lastNoteMetric(t *experiments.Table) (float64, bool) {
+	for i := len(t.Notes) - 1; i >= 0; i-- {
+		for _, f := range strings.Fields(strings.NewReplacer(
+			"x", "", "%", "", "(", "", ")", "", ",", "").Replace(t.Notes[i])) {
+			if v, err := strconv.ParseFloat(f, 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func runExperimentBench(b *testing.B, run func(experiments.Options) *experiments.Table, metric string) {
+	b.Helper()
+	var tbl *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tbl = run(benchOpts())
+	}
+	if tbl == nil || len(tbl.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+	if metric != "" {
+		if v, ok := lastNoteMetric(tbl); ok {
+			b.ReportMetric(v, metric)
+		}
+	}
+	b.ReportMetric(float64(len(tbl.Rows)), "rows")
+}
+
+// --- Tables ---
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	runExperimentBench(b, experiments.Table1, "")
+}
+
+func BenchmarkTable2Algorithms(b *testing.B) {
+	runExperimentBench(b, experiments.Table2, "")
+}
+
+func BenchmarkTable3Testbed(b *testing.B) {
+	runExperimentBench(b, experiments.Table3, "")
+}
+
+func BenchmarkTable4AreaPower(b *testing.B) {
+	runExperimentBench(b, experiments.Table4, "")
+}
+
+// --- Figures ---
+
+func BenchmarkFigure3TMAM(b *testing.B) {
+	// Headline: average memory-bound % (paper ~71%).
+	runExperimentBench(b, experiments.Figure3, "mem-bound-%")
+}
+
+func BenchmarkFigure4aHitRates(b *testing.B) {
+	runExperimentBench(b, experiments.Figure4a, "")
+}
+
+func BenchmarkFigure4bTopAccess(b *testing.B) {
+	// Headline: paper says >75% of vtxProp accesses hit the top 20%.
+	runExperimentBench(b, experiments.Figure4b, "paper-threshold-%")
+}
+
+func BenchmarkFigure5Heatmap(b *testing.B) {
+	runExperimentBench(b, experiments.Figure5, "")
+}
+
+func BenchmarkFigure14Speedup(b *testing.B) {
+	// Headline: geometric-mean OMEGA speedup (paper: 2x).
+	runExperimentBench(b, experiments.Figure14, "geomean-speedup")
+}
+
+func BenchmarkFigure15HitRate(b *testing.B) {
+	runExperimentBench(b, experiments.Figure15, "")
+}
+
+func BenchmarkFigure16DRAMBandwidth(b *testing.B) {
+	// Headline: average utilization improvement (paper: 2.28x).
+	runExperimentBench(b, experiments.Figure16, "avg-improvement")
+}
+
+func BenchmarkFigure17OnChipTraffic(b *testing.B) {
+	// Headline: average traffic reduction (paper: ~3.2x).
+	runExperimentBench(b, experiments.Figure17, "avg-reduction")
+}
+
+func BenchmarkFigure18NonPowerLaw(b *testing.B) {
+	runExperimentBench(b, experiments.Figure18, "")
+}
+
+func BenchmarkFigure19SPSensitivity(b *testing.B) {
+	runExperimentBench(b, experiments.Figure19, "")
+}
+
+func BenchmarkFigure20LargeGraphs(b *testing.B) {
+	runExperimentBench(b, experiments.Figure20, "")
+}
+
+func BenchmarkFigure21Energy(b *testing.B) {
+	// Headline: average energy saving (paper: 2.5x).
+	runExperimentBench(b, experiments.Figure21, "avg-saving")
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationScratchpadOnly(b *testing.B) {
+	runExperimentBench(b, experiments.AblationScratchpadOnly, "")
+}
+
+func BenchmarkAblationAtomicOverhead(b *testing.B) {
+	runExperimentBench(b, experiments.AblationAtomicOverhead, "")
+}
+
+func BenchmarkAblationReordering(b *testing.B) {
+	runExperimentBench(b, experiments.AblationReordering, "")
+}
+
+func BenchmarkAblationChunkMapping(b *testing.B) {
+	runExperimentBench(b, experiments.AblationChunkMapping, "")
+}
+
+func BenchmarkAblationLockedCache(b *testing.B) {
+	runExperimentBench(b, experiments.AblationLockedCache, "")
+}
+
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	runExperimentBench(b, experiments.AblationPrefetcher, "")
+}
+
+// --- Extensions (paper §VII / §IX future-work directions) ---
+
+func BenchmarkExtensionSlicing(b *testing.B) {
+	runExperimentBench(b, experiments.ExtensionSlicing, "")
+}
+
+func BenchmarkExtensionDynamicGraph(b *testing.B) {
+	runExperimentBench(b, experiments.ExtensionDynamicGraph, "")
+}
+
+func BenchmarkExtensionPagePolicy(b *testing.B) {
+	runExperimentBench(b, experiments.ExtensionPagePolicy, "")
+}
+
+func BenchmarkExtensionGraphMat(b *testing.B) {
+	runExperimentBench(b, experiments.ExtensionGraphMat, "")
+}
+
+func BenchmarkExtensionScaleRobustness(b *testing.B) {
+	runExperimentBench(b, experiments.ExtensionScaleRobustness, "")
+}
+
+func BenchmarkExtensionSeedSensitivity(b *testing.B) {
+	runExperimentBench(b, experiments.ExtensionSeedSensitivity, "")
+}
+
+func BenchmarkExtensionTraversalDirection(b *testing.B) {
+	runExperimentBench(b, experiments.ExtensionTraversalDirection, "")
+}
+
+// --- Microbenchmarks of the primary building blocks ---
+
+func BenchmarkSimulatePageRankBaseline(b *testing.B) {
+	g := ReorderByInDegree(RMAT(12, 42))
+	spec, _ := AlgorithmByName("PageRank")
+	baseCfg, _ := ScaledConfigs(g, spec.VtxPropBytes, 0.20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(baseCfg)
+		spec.Run(NewFramework(m, g))
+	}
+}
+
+func BenchmarkSimulatePageRankOMEGA(b *testing.B) {
+	g := ReorderByInDegree(RMAT(12, 42))
+	spec, _ := AlgorithmByName("PageRank")
+	_, omCfg := ScaledConfigs(g, spec.VtxPropBytes, 0.20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(omCfg)
+		spec.Run(NewFramework(m, g))
+	}
+}
+
+func BenchmarkGraphGenerationRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RMAT(12, uint64(i))
+	}
+}
+
+func BenchmarkReorderInDegree(b *testing.B) {
+	g := RMAT(12, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ReorderByInDegree(g)
+	}
+}

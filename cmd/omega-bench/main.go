@@ -1,0 +1,134 @@
+// Command omega-bench regenerates the paper's tables and figures
+// (DESIGN.md §4) and prints them as aligned text, optionally writing
+// TSV files per experiment.
+//
+// Usage:
+//
+//	omega-bench                     # full suite at default scale
+//	omega-bench -scale 14           # closer-to-paper regime (slower)
+//	omega-bench -only "Figure 14"   # one experiment
+//	omega-bench -tsv results/       # also write TSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"omega/internal/experiments"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 13, "log2 vertex count for generated datasets")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		coverage = flag.Float64("coverage", 0.20, "scratchpad coverage of vtxProp")
+		only     = flag.String("only", "", "run only experiments whose ID contains this substring")
+		tsvDir   = flag.String("tsv", "", "directory to write per-experiment TSV files")
+		chart    = flag.Int("chart", -1, "also render the given column as an ASCII bar chart")
+		jsonDir  = flag.String("json", "", "directory to write per-experiment JSON files")
+		htmlPath = flag.String("html", "", "write a self-contained HTML report")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Coverage: *coverage}
+	start := time.Now()
+	runners := []struct {
+		id  string
+		run func(experiments.Options) *experiments.Table
+	}{
+		{"Table I", experiments.Table1},
+		{"Table II", experiments.Table2},
+		{"Table III", experiments.Table3},
+		{"Table IV", experiments.Table4},
+		{"Figure 3", experiments.Figure3},
+		{"Figure 4a", experiments.Figure4a},
+		{"Figure 4b", experiments.Figure4b},
+		{"Figure 5", experiments.Figure5},
+		{"Figure 14", experiments.Figure14},
+		{"Figure 15", experiments.Figure15},
+		{"Figure 16", experiments.Figure16},
+		{"Figure 17", experiments.Figure17},
+		{"Figure 18", experiments.Figure18},
+		{"Figure 19", experiments.Figure19},
+		{"Figure 20", experiments.Figure20},
+		{"Figure 21", experiments.Figure21},
+		{"Ablation A1", experiments.AblationScratchpadOnly},
+		{"Ablation A2", experiments.AblationAtomicOverhead},
+		{"Ablation A3", experiments.AblationReordering},
+		{"Ablation A4", experiments.AblationChunkMapping},
+		{"Ablation A5", experiments.AblationLockedCache},
+		{"Ablation A6", experiments.AblationPrefetcher},
+		{"Extension E1", experiments.ExtensionSlicing},
+		{"Extension E2", experiments.ExtensionDynamicGraph},
+		{"Extension E3", experiments.ExtensionPagePolicy},
+		{"Extension E4", experiments.ExtensionGraphMat},
+		{"Extension E5", experiments.ExtensionScaleRobustness},
+		{"Extension E6", experiments.ExtensionSeedSensitivity},
+		{"Extension E7", experiments.ExtensionTraversalDirection},
+	}
+	ran := 0
+	var collected []*experiments.Table
+	for _, r := range runners {
+		if *only != "" && !strings.Contains(r.id, *only) {
+			continue
+		}
+		t0 := time.Now()
+		tbl := r.run(opts)
+		collected = append(collected, tbl)
+		fmt.Println(tbl.Format())
+		if *chart >= 0 {
+			fmt.Println(tbl.Chart(*chart, 40))
+		}
+		fmt.Printf("(%s in %v)\n\n", r.id, time.Since(t0).Round(time.Millisecond))
+		ran++
+		if *tsvDir != "" {
+			if err := writeArtifact(*tsvDir, r.id, ".tsv", []byte(tbl.TSV())); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *jsonDir != "" {
+			data, err := tbl.JSON()
+			if err == nil {
+				err = writeArtifact(*jsonDir, r.id, ".json", data)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *htmlPath != "" {
+		f, err := os.Create(*htmlPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		meta := experiments.ReportMeta{
+			Title:     "OMEGA reproduction report (IISWC 2018)",
+			Options:   experiments.Options{Scale: *scale, Seed: *seed, Coverage: *coverage},
+			Generated: time.Now(),
+			Runtime:   time.Since(start).Round(time.Millisecond),
+		}
+		if err := experiments.WriteHTMLReport(f, meta, collected); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *htmlPath)
+	}
+	fmt.Printf("ran %d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}
+
+// writeArtifact stores one experiment rendering under dir.
+func writeArtifact(dir, id, ext string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ReplaceAll(strings.ToLower(id), " ", "_") + ext
+	return os.WriteFile(filepath.Join(dir, name), data, 0o644)
+}

@@ -1,0 +1,108 @@
+// Command omega-sim runs one (algorithm × dataset × machine) simulation
+// and prints the machine statistics, or a baseline-vs-OMEGA comparison.
+//
+// Usage:
+//
+//	omega-sim -algo PageRank -graph rmat -scale 14 [-machine both|baseline|omega]
+//	omega-sim -algo BFS -graph road -scale 14 -coverage 0.2
+//	omega-sim -algo CC -graph ba -scale 13 -edgelist path/to/snap.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omega/internal/algorithms"
+	"omega/internal/core"
+	"omega/internal/experiments"
+	"omega/internal/graph"
+	"omega/internal/graph/gio"
+	"omega/internal/graph/reorder"
+	"omega/internal/ligra"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "PageRank", "algorithm (PageRank, BFS, SSSP, BC, Radii, CC, TC, KC)")
+		graphKdn = flag.String("graph", "rmat", "dataset family: rmat, ba, er, road")
+		scale    = flag.Int("scale", 14, "log2 of the vertex count for generated graphs")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		machine  = flag.String("machine", "both", "baseline, omega, or both")
+		coverage = flag.Float64("coverage", 0.20, "fraction of vtxProp the scratchpads hold")
+		edgelist = flag.String("edgelist", "", "load a SNAP edge list instead of generating")
+		noPISC   = flag.Bool("no-pisc", false, "disable PISC engines (scratchpads only)")
+		verbose  = flag.Bool("v", false, "print full stats summaries")
+		jsonOut  = flag.Bool("json", false, "print machine stats as JSON instead of text")
+	)
+	flag.Parse()
+
+	spec, ok := algorithms.ByName(*algoName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+	g, err := buildGraph(*graphKdn, *scale, *seed, *edgelist, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// OMEGA's static placement: in-degree reordering (§VI).
+	g = reorder.Apply(g, reorder.Compute(g, reorder.InDegree))
+
+	baseCfg, omCfg := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, *coverage)
+	if *noPISC {
+		omCfg.PISC = false
+		omCfg.Name = "omega-nopisc"
+	}
+	fmt.Printf("dataset %s: %d vertices, %d edges\n", g.Name, g.NumVertices(), g.NumEdges())
+
+	emit := func(st core.MachineStats) {
+		if *jsonOut {
+			data, err := st.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(data))
+			return
+		}
+		fmt.Print(st.Summary())
+	}
+	var baseStats, omStats core.MachineStats
+	if *machine == "baseline" || *machine == "both" {
+		m := core.NewMachine(baseCfg)
+		baseStats = spec.Run(ligra.New(m, g))
+		emit(baseStats)
+	}
+	if *machine == "omega" || *machine == "both" {
+		m := core.NewMachine(omCfg)
+		omStats = spec.Run(ligra.New(m, g))
+		emit(omStats)
+	}
+	if *machine == "both" {
+		fmt.Printf("speedup (omega vs baseline): %.2fx\n", omStats.Speedup(baseStats))
+		if baseStats.NoCBytes > 0 && omStats.NoCBytes > 0 {
+			fmt.Printf("on-chip traffic reduction: %.2fx\n",
+				float64(baseStats.NoCBytes)/float64(omStats.NoCBytes))
+		}
+		if baseStats.DRAMUtilized > 0 && omStats.DRAMUtilized > 0 {
+			fmt.Printf("DRAM bandwidth utilization: %.2fx\n",
+				omStats.DRAMUtilized/baseStats.DRAMUtilized)
+		}
+	}
+	_ = verbose
+}
+
+func buildGraph(family string, scale int, seed uint64, edgelist string, spec algorithms.Spec) (*graph.Graph, error) {
+	if edgelist != "" {
+		f, err := os.Open(edgelist)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return gio.LoadEdgeList(f, spec.NeedsUndirected, edgelist)
+	}
+	weighted := spec.NeedsWeights || spec.Name == "SSSP"
+	return experiments.BuildFamily(family, scale, seed, spec.NeedsUndirected, weighted)
+}

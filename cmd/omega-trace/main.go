@@ -1,0 +1,77 @@
+// Command omega-trace runs one algorithm under an access tracer and prints
+// a per-(data-structure, hierarchy-level) latency summary — the raw
+// material behind the paper's motivation figures: where do the accesses
+// go, and what do they cost on each machine?
+//
+// Usage:
+//
+//	omega-trace -algo PageRank -scale 12                  # both machines
+//	omega-trace -algo BFS -machine omega -tsv events.tsv  # dump raw events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omega/internal/algorithms"
+	"omega/internal/core"
+	"omega/internal/graph/gen"
+	"omega/internal/graph/reorder"
+	"omega/internal/ligra"
+	"omega/internal/trace"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "PageRank", "algorithm to trace")
+		scale    = flag.Int("scale", 12, "log2 vertex count (R-MAT)")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		machine  = flag.String("machine", "both", "baseline, omega, or both")
+		tsvPath  = flag.String("tsv", "", "write raw events (first 100k) as TSV")
+	)
+	flag.Parse()
+
+	spec, ok := algorithms.ByName(*algoName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+	cfg := gen.DefaultRMAT(*scale, *seed)
+	cfg.Undirected = spec.NeedsUndirected
+	cfg.Weighted = spec.Name == "SSSP"
+	g := gen.RMAT(cfg)
+	g = reorder.Apply(g, reorder.Compute(g, reorder.InDegree))
+
+	baseCfg, omCfg := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, 0.20)
+	run := func(cfg core.Config) {
+		m := core.NewMachine(cfg)
+		col := trace.NewCollector(100000)
+		m.SetTracer(col)
+		st := spec.Run(ligra.New(m, g))
+		fmt.Printf("== %s: %s on %s (%d cycles) ==\n", cfg.Name, spec.Name, g.Name, st.Cycles)
+		if err := col.WriteSummary(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if *tsvPath != "" {
+			f, err := os.Create(fmt.Sprintf("%s.%s", *tsvPath, cfg.Name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := col.WriteTSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *machine == "baseline" || *machine == "both" {
+		run(baseCfg)
+	}
+	if *machine == "omega" || *machine == "both" {
+		run(omCfg)
+	}
+}

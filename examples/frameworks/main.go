@@ -1,0 +1,58 @@
+// Framework independence (paper §V.F): the same pair of machines runs two
+// different graph frameworks — the Ligra-style frontier framework and a
+// GraphMat-style SPMV framework — and OMEGA accelerates both without any
+// change to either programming interface. On the baseline, GraphMat's
+// partitioned gather issues zero atomics; on OMEGA, its translated reduce
+// is offloaded to the PISC engines just like Ligra's atomic updates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"omega"
+	"omega/internal/algorithms"
+	"omega/internal/core"
+	"omega/internal/graphmat"
+	"omega/internal/ligra"
+)
+
+func main() {
+	g := omega.ReorderByInDegree(omega.RMAT(13, 42))
+
+	// Ligra-style PageRank (push with atomic fp-adds).
+	spec, _ := omega.AlgorithmByName("PageRank")
+	lBase, lOm := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, 0.20)
+	mb := core.NewMachine(lBase)
+	ligraBase := spec.Run(ligra.New(mb, g))
+	mo := core.NewMachine(lOm)
+	ligraOm := spec.Run(ligra.New(mo, g))
+
+	// GraphMat-style PageRank (scatter/reduce/apply; 16 B/vertex since it
+	// carries a message accumulator alongside the rank).
+	gBase, gOm := core.ScaledPair(g.NumVertices(), 16, 0.20)
+	gmb := core.NewMachine(gBase)
+	ranksBase := graphmat.RunPageRank(gmb, g, 1, 0.85)
+	gmo := core.NewMachine(gOm)
+	ranksOm := graphmat.RunPageRank(gmo, g, 1, 0.85)
+
+	// Both frameworks compute the same answer...
+	ref := algorithms.ReferencePageRank(g, 1, 0.85)
+	for v := range ref {
+		if math.Abs(ranksBase[v]-ref[v]) > 1e-9 || math.Abs(ranksOm[v]-ref[v]) > 1e-9 {
+			log.Fatalf("graphmat rank[%d] diverged from reference", v)
+		}
+	}
+	fmt.Println("both frameworks match the reference PageRank exactly")
+
+	gmBaseSt, gmOmSt := gmb.Stats(), gmo.Stats()
+	fmt.Printf("\n%-16s %-9s %-16s %-10s\n", "framework", "speedup", "baseline atomics", "PISC ops")
+	fmt.Printf("%-16s %-9.2f %-16d %-10d\n", "ligra-style",
+		ligraOm.Speedup(ligraBase), ligraBase.Atomics, ligraOm.PISCOps)
+	fmt.Printf("%-16s %-9.2f %-16d %-10d\n", "graphmat-style",
+		gmOmSt.Speedup(gmBaseSt), gmBaseSt.Atomics, gmOmSt.PISCOps)
+
+	fmt.Println("\npaper §V.F: the translation tool was applied to GraphMat in addition")
+	fmt.Println("to Ligra — OMEGA is a memory subsystem, not a framework feature.")
+}

@@ -1,0 +1,36 @@
+// Social-network study: run the traversal and analytics algorithms the
+// paper's introduction motivates (ranking, reachability, communities) on
+// a preferential-attachment graph and report the Figure 14/15-style
+// results — speedups and last-level storage hit rates per algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omega"
+)
+
+func main() {
+	const n = 1 << 13
+	g := omega.ReorderByInDegree(omega.SocialGraph(n, 7))
+	s := omega.Characterize(g)
+	fmt.Printf("social graph: %d vertices, %d edges, top-20%% in-degree share %.0f%%\n\n",
+		s.NumVertices, s.NumEdges, s.InDegreeConnectivity)
+
+	fmt.Printf("%-10s %-9s %-14s %-14s %-10s\n",
+		"algorithm", "speedup", "baseline LLC%", "omega LLC+SP%", "PISC ops")
+	for _, name := range []string{"PageRank", "BFS", "SSSP", "BC", "Radii"} {
+		cmp, err := omega.Compare(name, g, 0.20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-9.2f %-14.1f %-14.1f %-10d\n",
+			name, cmp.Speedup(),
+			100*cmp.Baseline.LLCHitRate, 100*cmp.OMEGA.LLCHitRate,
+			cmp.OMEGA.PISCOps)
+	}
+
+	fmt.Println("\nThe scratchpads serve the hottest vertices at word granularity and the")
+	fmt.Println("PISC engines absorb the atomic updates — the paper's Figure 14/15 story.")
+}

@@ -1,0 +1,92 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"omega/internal/core"
+	"omega/internal/graph"
+	"omega/internal/ligra"
+)
+
+func TestBCFullMatchesReference(t *testing.T) {
+	g := directedTestGraph(t, 8)
+	root := DefaultRoot(g)
+	want := ReferenceBCFull(g, root)
+	base, om := testMachines(g, 8)
+	for _, m := range []*core.Machine{base, om} {
+		fw := ligra.New(m, g)
+		res := BCFull(fw, root)
+		for v := range want {
+			if diff := math.Abs(res.Dependency[v] - want[v]); diff > 1e-6*(1+want[v]) {
+				t.Fatalf("%s: dep[%d] = %v, want %v", m.Config().Name, v, res.Dependency[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBCFullOnPath(t *testing.T) {
+	// Path 0->1->2->3: dependencies are 0->(3 paths through its subtree)...
+	// delta(1) = 2 (targets 2 and 3), delta(2) = 1, delta(3) = 0,
+	// delta(0) = 3 but the root's own score is conventionally included
+	// here as the sum over its subtree (we report raw delta).
+	g := graph.FromEdges(4, false, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+	}, "path")
+	_, om := testMachines(g, 8)
+	res := BCFull(ligra.New(om, g), 0)
+	want := []float64{3, 2, 1, 0}
+	for v := range want {
+		if math.Abs(res.Dependency[v]-want[v]) > 1e-12 {
+			t.Fatalf("dep[%d] = %v, want %v", v, res.Dependency[v], want[v])
+		}
+	}
+}
+
+func TestBCFullDiamond(t *testing.T) {
+	// Diamond 0->{1,2}->3: two shortest paths to 3, each middle vertex
+	// carries half: delta(1)=delta(2)=0.5, delta(0)=1+0.5+1+0.5... the
+	// root accumulates (1+0.5)/1 per child = 3.
+	g := graph.FromEdges(4, false, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3},
+	}, "diamond")
+	_, om := testMachines(g, 8)
+	res := BCFull(ligra.New(om, g), 0)
+	if math.Abs(res.Dependency[1]-0.5) > 1e-12 || math.Abs(res.Dependency[2]-0.5) > 1e-12 {
+		t.Fatalf("middle deps %v %v, want 0.5", res.Dependency[1], res.Dependency[2])
+	}
+	if math.Abs(res.Dependency[0]-3) > 1e-12 {
+		t.Fatalf("root dep %v, want 3", res.Dependency[0])
+	}
+}
+
+func TestPageRankConvergence(t *testing.T) {
+	g := directedTestGraph(t, 8)
+	_, om := testMachines(g, 8)
+	res := PageRank(ligra.New(om, g), Params{Iterations: 200, Tolerance: 1e-8})
+	if !res.Converged {
+		t.Fatal("PageRank should converge within 200 iterations")
+	}
+	if res.Iterations >= 200 || res.Iterations < 2 {
+		t.Fatalf("suspicious convergence at %d iterations", res.Iterations)
+	}
+	// Converged ranks are a fixpoint: one more reference iteration from
+	// the converged vector changes it by < 10*tolerance.
+	ref := ReferencePageRank(g, res.Iterations, 0.85)
+	var drift float64
+	for v := range ref {
+		drift += math.Abs(ref[v] - res.Ranks[v])
+	}
+	if drift > 1e-6 {
+		t.Fatalf("converged ranks drift %v from reference trajectory", drift)
+	}
+}
+
+func TestPageRankFixedIterationsNotConverged(t *testing.T) {
+	g := directedTestGraph(t, 7)
+	_, om := testMachines(g, 8)
+	res := PageRank(ligra.New(om, g), Params{Iterations: 1})
+	if res.Converged {
+		t.Fatal("fixed single iteration should not report convergence")
+	}
+}

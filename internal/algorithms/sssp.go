@@ -1,0 +1,108 @@
+package algorithms
+
+import (
+	"omega/internal/core"
+	"omega/internal/graph"
+	"omega/internal/ligra"
+	"omega/internal/pisc"
+)
+
+// SSSPResult carries the functional output of a simulated SSSP.
+type SSSPResult struct {
+	// Dist[v] is the shortest distance from the root, or Infinity.
+	Dist []int64
+	// Rounds is the number of Bellman-Ford frontier rounds.
+	Rounds int
+}
+
+// Infinity is the unreachable sentinel in SSSPResult.Dist.
+const Infinity = infinity
+
+// SSSP runs Ligra's frontier-based Bellman-Ford (the Figure 10 update
+// function): each frontier vertex relaxes its outgoing edges with an
+// atomic signed-min on ShortestLen, using a second Visited vtxProp to
+// deduplicate frontier insertion (Table II: two vtxProps, signed min &
+// bool comp., reads the source vertex's property — the access OMEGA's
+// source vertex buffer accelerates).
+func SSSP(fw *ligra.Framework, root uint32) *SSSPResult {
+	dist := fw.NewProp("ShortestLen", 4, pisc.IntValue(infinity))
+	visited := fw.NewProp("Visited", 4, pisc.Value(unreachable32))
+	fw.Configure(pisc.StandardMicrocode("sssp-update", pisc.OpSignedMin, true, true))
+
+	dist.Raw()[root] = pisc.IntValue(0)
+	frontier := fw.NewVertexSubsetSparse([]uint32{root})
+	round := uint64(0)
+
+	fns := ligra.EdgeMapFns{
+		UpdateAtomic: func(ctx *core.Ctx, s, d uint32, w int32) bool {
+			// Figure 10: read s's ShortestLen, add edge length, write-min
+			// into d. The source read is buffer-eligible on OMEGA.
+			sl := dist.GetSrc(ctx, s).Int()
+			if !dist.AtomicUpdate(ctx, d, pisc.OpSignedMin, pisc.IntValue(sl+int64(w))) {
+				return false
+			}
+			// Deduplicate frontier insertion: first improver of d in this
+			// round wins (Visited tag, bool comp.).
+			return visited.AtomicUpdate(ctx, d, pisc.OpBoolComp, pisc.Value(round))
+		},
+		Update: func(ctx *core.Ctx, s, d uint32, w int32) bool {
+			sl := dist.GetSrc(ctx, s).Int()
+			if !dist.Update(ctx, d, pisc.OpSignedMin, pisc.IntValue(sl+int64(w))) {
+				return false
+			}
+			return visited.Update(ctx, d, pisc.OpBoolComp, pisc.Value(round))
+		},
+	}
+	rounds := 0
+	for !frontier.IsEmpty() {
+		frontier = fw.EdgeMap(frontier, fns, ligra.Auto)
+		rounds++
+		round++
+		// Reset the Visited tags of the new frontier for the next round
+		// (Ligra's reset pass).
+		frontier = fw.VertexMap(frontier, func(ctx *core.Ctx, v uint32) bool {
+			visited.Set(ctx, v, pisc.Value(unreachable32))
+			return true
+		})
+		if rounds > fw.NumVertices()+1 {
+			panic("sssp: negative cycle or divergence")
+		}
+	}
+	res := &SSSPResult{Rounds: rounds, Dist: make([]int64, fw.NumVertices())}
+	for v, d := range dist.Raw() {
+		res.Dist[v] = d.Int()
+	}
+	return res
+}
+
+// ReferenceSSSP computes exact shortest distances with Bellman-Ford
+// (non-negative weights assumed, matching the generators).
+func ReferenceSSSP(g *graph.Graph, root uint32) []int64 {
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = infinity
+	}
+	dist[root] = 0
+	changed := true
+	for iter := 0; iter < n && changed; iter++ {
+		changed = false
+		for s := 0; s < n; s++ {
+			if dist[s] == infinity {
+				continue
+			}
+			ws := g.OutWeights(graph.VertexID(s))
+			for j, d := range g.OutNeighbors(graph.VertexID(s)) {
+				var w int64 = 1
+				if ws != nil {
+					w = int64(ws[j])
+				}
+				if dist[s]+w < dist[d] {
+					dist[d] = dist[s] + w
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}

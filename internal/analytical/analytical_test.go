@@ -1,0 +1,98 @@
+package analytical
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperScenariosShape(t *testing.T) {
+	m := DefaultModel()
+	// twitter PageRank at 5% coverage: paper reports 1.68x.
+	tw := m.Estimate(PageRankScenario("twitter", 41.6e6, 1468e6, 0.05, 0.47, 0.35))
+	if tw.Speedup() < 1.3 || tw.Speedup() > 2.3 {
+		t.Fatalf("twitter PR speedup %.2f outside paper band (~1.68x)", tw.Speedup())
+	}
+	// uk at 10% coverage should beat twitter at 5% (more accesses covered).
+	uk := m.Estimate(PageRankScenario("uk", 18.5e6, 298e6, 0.10, 0.60, 0.40))
+	if uk.Speedup() <= tw.Speedup() {
+		t.Fatalf("more coverage must help: uk %.2f <= twitter %.2f",
+			uk.Speedup(), tw.Speedup())
+	}
+}
+
+func TestBFSLessThanPageRank(t *testing.T) {
+	// BFS has far fewer atomics per edge, so its modeled gain is smaller
+	// (paper: 1.35x BFS vs 1.68x PR on twitter).
+	m := DefaultModel()
+	pr := m.Estimate(PageRankScenario("g", 40e6, 1400e6, 0.05, 0.47, 0.35))
+	bfs := m.Estimate(BFSScenario("g", 40e6, 1400e6, 0.05, 0.47, 0.35))
+	if bfs.Speedup() >= pr.Speedup() {
+		t.Fatalf("BFS %.2f should gain less than PR %.2f", bfs.Speedup(), pr.Speedup())
+	}
+	if bfs.Speedup() < 1.0 {
+		t.Fatalf("BFS should still win: %.2f", bfs.Speedup())
+	}
+}
+
+func TestMoreHotCoverageMoreSpeedup(t *testing.T) {
+	m := DefaultModel()
+	prev := 0.0
+	for _, share := range []float64{0.2, 0.4, 0.6, 0.8} {
+		r := m.Estimate(PageRankScenario("g", 1e6, 16e6, share, share, 0.4))
+		if r.Speedup() <= prev {
+			t.Fatalf("speedup must grow with hot share: %.2f at %.1f", r.Speedup(), share)
+		}
+		prev = r.Speedup()
+	}
+}
+
+func TestLowerLLCHitHelpsOMEGAMore(t *testing.T) {
+	// The worse the baseline's cache behaves, the bigger OMEGA's win.
+	m := DefaultModel()
+	good := m.Estimate(PageRankScenario("g", 1e6, 16e6, 0.2, 0.7, 0.8))
+	bad := m.Estimate(PageRankScenario("g", 1e6, 16e6, 0.2, 0.7, 0.2))
+	if bad.Speedup() <= good.Speedup() {
+		t.Fatalf("lower LLC hit should widen the gap: %.2f vs %.2f",
+			bad.Speedup(), good.Speedup())
+	}
+}
+
+func TestBaselineCyclesScaleWithEdges(t *testing.T) {
+	m := DefaultModel()
+	small := m.Estimate(PageRankScenario("s", 1e6, 16e6, 0.2, 0.7, 0.4))
+	big := m.Estimate(PageRankScenario("b", 1e6, 160e6, 0.2, 0.7, 0.4))
+	if big.BaselineCycles <= small.BaselineCycles*9 {
+		t.Fatal("10x edges should be ~10x cycles")
+	}
+}
+
+func TestZeroOmegaCycles(t *testing.T) {
+	var r Result
+	if r.Speedup() != 0 {
+		t.Fatal("zero omega cycles should report 0 speedup")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	m := DefaultModel()
+	r := m.Estimate(PageRankScenario("x", 1e6, 16e6, 0.2, 0.7, 0.4))
+	if !strings.Contains(r.String(), "speedup") {
+		t.Fatal("result string malformed")
+	}
+}
+
+func TestPISCThroughputBound(t *testing.T) {
+	// An extreme scenario where offload demand exceeds PISC capacity must
+	// not report absurd speedups: the engines bound the gain.
+	m := DefaultModel()
+	m.FrameworkCyclesPerEdge = 0
+	m.StreamCyclesPerEdge = 0
+	p := PageRankScenario("hot", 1e6, 64e6, 0.99, 0.999, 0.99)
+	r := m.Estimate(p)
+	// Offloaded ops ~= edges; engines absorb 3 cycles per op over 16
+	// engines -> at least edges*3/48 cycles.
+	min := float64(p.Edges) * 0.999 * m.AtomicCycles / (3 * 16)
+	if r.OMEGACycles < min*0.9 {
+		t.Fatalf("PISC bound violated: %.3e < %.3e", r.OMEGACycles, min)
+	}
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"omega/internal/memsys"
+	"omega/internal/memsys/cache"
+	"omega/internal/memsys/coherence"
+	"omega/internal/memsys/dram"
+	"omega/internal/memsys/noc"
+	"omega/internal/stats"
+)
+
+// cachePath is the conventional coherent cache hierarchy: per-core private
+// L1D caches, address-interleaved shared L2 banks reached over the
+// crossbar, a MESI-lite directory over the L1s, and DRAM behind the L2.
+// It serves as the entire memory system of the baseline machine and as
+// the non-scratchpad path of the OMEGA machine.
+type cachePath struct {
+	cfg  Config
+	l1   []*cache.Cache
+	l2   []*cache.Cache
+	dir  *coherence.Directory
+	dram *dram.DRAM
+	noc  *noc.Crossbar
+
+	atomics    stats.Counter
+	l1HitLat   memsys.Cycles
+	dramWrites stats.Counter
+
+	// LLC pollution state (Config.LLCPollution): synthetic fills that
+	// model the instruction/OS traffic of a real machine's LLC.
+	pollAccum float64
+	pollNext  uint64
+	Pollution stats.Counter
+
+	// Prefetches counts next-line prefetches issued (Config.L1Prefetch).
+	Prefetches stats.Counter
+}
+
+func newCachePath(cfg Config, xbar *noc.Crossbar, mem *dram.DRAM) *cachePath {
+	p := &cachePath{
+		cfg:      cfg,
+		dir:      coherence.New(cfg.NumCores),
+		dram:     mem,
+		noc:      xbar,
+		l1HitLat: 1,
+	}
+	for c := 0; c < cfg.NumCores; c++ {
+		p.l1 = append(p.l1, cache.New(cache.Config{
+			SizeBytes:     cfg.L1Bytes,
+			Ways:          cfg.L1Ways,
+			LatencyCycles: p.l1HitLat,
+			Name:          "L1D",
+		}))
+		p.l2 = append(p.l2, cache.New(cache.Config{
+			SizeBytes:     cfg.L2BytesPerCore,
+			Ways:          cfg.L2Ways,
+			LatencyCycles: cfg.L2Lat,
+			Name:          "L2",
+		}))
+	}
+	return p
+}
+
+// homeBank address-interleaves lines across L2 banks.
+func (p *cachePath) homeBank(line memsys.Addr) int {
+	return int(uint64(line) / memsys.LineSize % uint64(p.cfg.NumCores))
+}
+
+// l2Local strips the bank-interleaving bits from a global line address so
+// a bank's set index uses the full set space (without this, every line in
+// a bank would map to the same few sets).
+func (p *cachePath) l2Local(line memsys.Addr) memsys.Addr {
+	g := uint64(line) / memsys.LineSize
+	return memsys.Addr(g / uint64(p.cfg.NumCores) * memsys.LineSize)
+}
+
+// l2Global reconstructs the global line address from a bank-local one.
+func (p *cachePath) l2Global(local memsys.Addr, bank int) memsys.Addr {
+	l := uint64(local) / memsys.LineSize
+	return memsys.Addr((l*uint64(p.cfg.NumCores) + uint64(bank)) * memsys.LineSize)
+}
+
+// Access simulates one access through the cache path.
+func (p *cachePath) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
+	op := a.Op
+	write := op != memsys.OpRead
+	atomic := op == memsys.OpAtomic
+	if atomic {
+		p.atomics.Inc()
+	}
+	line := memsys.LineAddr(a.Addr)
+	l1 := p.l1[a.Core]
+
+	var lat memsys.Cycles
+	level := "L1"
+	if l1.Access(line, write) {
+		lat = p.l1HitLat
+		if write && !p.dir.IsModifiedBy(line, a.Core) {
+			// Upgrade: invalidate other sharers.
+			out := p.dir.AcquireExclusive(line, a.Core)
+			for i := 0; i < out.Invalidated; i++ {
+				p.noc.Send(now, a.Core, p.homeBank(line), 0, noc.ClassCtrl)
+			}
+			if atomic && out.Invalidated > 0 {
+				lat += p.cfg.InvalidationCycles
+			}
+		}
+	} else {
+		lat = p.miss(now, a.Core, line, write, a.Kind == memsys.KindVtxProp)
+		level = "L2+"
+		// Fill L1 and handle its victim.
+		p.fillL1(now, a.Core, line, write)
+		if p.cfg.L1Prefetch &&
+			(a.Kind == memsys.KindEdgeList || a.Kind == memsys.KindNGraphData) {
+			p.prefetchNext(now, a.Core, line)
+		}
+	}
+	if atomic {
+		lat += p.cfg.AtomicOpCycles
+	}
+	blocking := atomic || a.Dependent
+	return memsys.Result{Latency: lat, Blocking: blocking, LevelName: level}
+}
+
+// miss brings line toward the requesting core, returning the latency from
+// issue to data arrival at the core.
+func (p *cachePath) miss(now memsys.Cycles, core int, line memsys.Addr, write, lowLocality bool) memsys.Cycles {
+	bank := p.homeBank(line)
+	// Request header to the home bank.
+	lat := p.noc.Send(now, core, bank, 0, noc.ClassCtrl)
+
+	// Directory resolution at the home node.
+	var dirtyOwner = -1
+	if write {
+		out := p.dir.AcquireExclusive(line, core)
+		dirtyOwner = out.DirtyOwner
+		for i := 0; i < out.Invalidated; i++ {
+			p.noc.Send(now+lat, bank, core, 0, noc.ClassCtrl)
+		}
+	} else {
+		out := p.dir.AcquireShared(line, core)
+		dirtyOwner = out.DirtyOwner
+	}
+
+	if dirtyOwner >= 0 {
+		// Cache-to-cache: forward request to owner, owner sends the line
+		// to the requester and writes back to the bank. The L2's copy is
+		// stale (owner holds M), so the probe counts as a demand miss —
+		// the same accounting gem5's Ruby MESI uses — even though the
+		// transfer stays on-chip.
+		p.l2[bank].Reads.AddMisses(1)
+		p.l2[bank].Fill(p.l2Local(line), true)
+		fwd := p.noc.Send(now+lat, bank, dirtyOwner, 0, noc.ClassCtrl)
+		xfer := p.noc.Send(now+lat+fwd, dirtyOwner, core, memsys.LineSize, noc.ClassLine)
+		// The owner's dirty data also refreshes the L2 bank.
+		p.noc.Send(now+lat+fwd, dirtyOwner, bank, memsys.LineSize, noc.ClassLine)
+		p.l2[bank].Fill(p.l2Local(line), true)
+		return lat + fwd + xfer + p.l1HitLat
+	}
+
+	p.pollute(bank)
+	l2 := p.l2[bank]
+	if l2.Access(p.l2Local(line), false) {
+		// L2 hit: data line back to the requester.
+		resp := p.noc.Send(now+lat+p.cfg.L2Lat, bank, core, memsys.LineSize, noc.ClassLine)
+		return lat + p.cfg.L2Lat + resp
+	}
+	// L2 miss: DRAM access, fill L2 (inclusive), then respond.
+	dramLat := p.dram.AccessHint(now+lat+p.cfg.L2Lat, line, lowLocality)
+	if victim, evicted := l2.Fill(p.l2Local(line), false); evicted {
+		p.evictFromL2(now, bank, victim)
+	}
+	resp := p.noc.Send(now+lat+p.cfg.L2Lat+dramLat, bank, core, memsys.LineSize, noc.ClassLine)
+	return lat + p.cfg.L2Lat + dramLat + resp
+}
+
+// prefetchNext fetches the line after a sequential-class miss into the
+// core's L1 in the background: the core is not charged latency, but the
+// L2/DRAM/NoC effects (fills, traffic, bandwidth) are fully modeled.
+func (p *cachePath) prefetchNext(now memsys.Cycles, core int, line memsys.Addr) {
+	next := line + memsys.LineSize
+	if p.l1[core].Lookup(next) {
+		return
+	}
+	p.Prefetches.Inc()
+	bank := p.homeBank(next)
+	p.noc.Send(now, core, bank, 0, noc.ClassCtrl)
+	l2 := p.l2[bank]
+	if !l2.Access(p.l2Local(next), false) {
+		p.dram.AccessHint(now, next, false)
+		if victim, evicted := l2.Fill(p.l2Local(next), false); evicted {
+			p.evictFromL2(now, bank, victim)
+		}
+	}
+	p.noc.Send(now, bank, core, memsys.LineSize, noc.ClassLine)
+	p.fillL1(now, core, next, false)
+}
+
+// pollute injects Config.LLCPollution synthetic fills per demand access
+// into the accessed bank, evicting real lines the way a shared LLC's
+// instruction/OS/TLB traffic does. The synthetic lines live in a reserved
+// high address range, cost no simulated time, and their victims are
+// dropped silently (the polluting traffic's own behaviour is not under
+// study).
+func (p *cachePath) pollute(bank int) {
+	if p.cfg.LLCPollution <= 0 {
+		return
+	}
+	p.pollAccum += p.cfg.LLCPollution
+	for p.pollAccum >= 1 {
+		p.pollAccum--
+		p.pollNext = p.pollNext*6364136223846793005 + 1442695040888963407
+		// Spread across sets within the bank; reserved range above 2^40.
+		addr := memsys.Addr(1<<40 + (p.pollNext%(1<<20))*memsys.LineSize)
+		p.l2[bank].Fill(p.l2Local(addr), false)
+		p.Pollution.Inc()
+	}
+}
+
+// evictFromL2 handles an L2 victim: back-invalidate L1 copies (inclusive
+// hierarchy) and write dirty data to DRAM.
+func (p *cachePath) evictFromL2(now memsys.Cycles, bank int, victim cache.EvictedLine) {
+	global := p.l2Global(victim.Addr, bank)
+	dirty := victim.Dirty
+	for c := 0; c < p.cfg.NumCores; c++ {
+		if present, l1dirty := p.l1[c].Invalidate(global); present {
+			p.noc.Send(now, bank, c, 0, noc.ClassCtrl)
+			if l1dirty {
+				p.noc.Send(now, c, bank, memsys.LineSize, noc.ClassLine)
+				dirty = true
+			}
+			p.dir.Drop(global, c)
+		}
+	}
+	if dirty {
+		p.dram.Access(now, global)
+		p.dramWrites.Inc()
+	}
+}
+
+// fillL1 installs line into the core's L1 and handles the victim
+// (directory drop + dirty writeback to the home bank).
+func (p *cachePath) fillL1(now memsys.Cycles, core int, line memsys.Addr, write bool) {
+	victim, evicted := p.l1[core].Fill(line, write)
+	if !write {
+		// Shared-state bookkeeping already done in miss(); writes did
+		// AcquireExclusive there or on the upgrade path.
+		if !p.dir.IsModifiedBy(line, core) && p.dir.Holders(line) == 0 {
+			p.dir.AcquireShared(line, core)
+		}
+	}
+	if !evicted {
+		return
+	}
+	p.dir.Drop(victim.Addr, core)
+	if victim.Dirty {
+		bank := p.homeBank(victim.Addr)
+		p.noc.Send(now, core, bank, memsys.LineSize, noc.ClassLine)
+		if v2, ev2 := p.l2[bank].Fill(p.l2Local(victim.Addr), true); ev2 {
+			// Victim-of-victim: count the DRAM writeback, do not recurse.
+			if v2.Dirty {
+				p.dram.Access(now, p.l2Global(v2.Addr, bank))
+				p.dramWrites.Inc()
+			}
+		}
+	}
+}
+
+// l1HitRate aggregates across cores.
+func (p *cachePath) l1HitRate() (hits, total uint64) {
+	for _, c := range p.l1 {
+		hits += c.Reads.Hits + c.Writes.Hits
+		total += c.Reads.Total + c.Writes.Total
+	}
+	return
+}
+
+// l2HitRate aggregates across banks.
+func (p *cachePath) l2HitRate() (hits, total uint64) {
+	for _, c := range p.l2 {
+		hits += c.Reads.Hits + c.Writes.Hits
+		total += c.Reads.Total + c.Writes.Total
+	}
+	return
+}
+
+func (p *cachePath) reset() {
+	for _, c := range p.l1 {
+		c.Reset()
+	}
+	for _, c := range p.l2 {
+		c.Reset()
+	}
+	p.dir.Reset()
+	p.atomics.Reset()
+	p.dramWrites.Reset()
+	p.pollAccum = 0
+	p.pollNext = 0
+	p.Pollution.Reset()
+	p.Prefetches.Reset()
+}

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+
+	"omega/internal/cpu"
+	"omega/internal/memsys"
+	"omega/internal/memsys/dram"
+	"omega/internal/memsys/noc"
+	"omega/internal/pisc"
+	"omega/internal/scratchpad"
+	"omega/internal/stats"
+)
+
+// Machine is one simulated system (baseline CMP or OMEGA) together with
+// the execution-driven scheduler the framework runs on. A Machine is
+// single-threaded by design: the simulation is deterministic event
+// scheduling, not host parallelism.
+type Machine struct {
+	cfg   Config
+	cores []*cpu.Core
+	xbar  *noc.Crossbar
+	mem   *dram.DRAM
+	path  *cachePath
+	hier  memsys.Hierarchy
+	omega *omegaHier // nil on the baseline machine
+
+	nextAddr memsys.Addr
+	regions  []*Region
+
+	accessesByKind [4]stats.Counter
+	atomicsIssued  stats.Counter
+	srcReads       stats.Counter
+	vertexProfile  []uint64
+	iterations     stats.Counter
+
+	// levelCount/levelLatency break accesses down by the hierarchy level
+	// that served them (diagnostics and the Figure 3/15 analyses).
+	levelCount   map[string]uint64
+	levelLatency map[string]uint64
+
+	tracer Tracer
+}
+
+// Tracer receives every simulated access with its timing outcome; see
+// package trace for the standard collector.
+type Tracer interface {
+	Record(now memsys.Cycles, a memsys.Access, r memsys.Result)
+}
+
+// NewMachine builds a machine from cfg. It panics on an invalid
+// configuration (configurations are static experiment inputs).
+func NewMachine(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg:          cfg,
+		nextAddr:     pageSize,
+		levelCount:   make(map[string]uint64),
+		levelLatency: make(map[string]uint64),
+	}
+	m.xbar = noc.New(noc.Config{
+		Ports:          cfg.NumCores,
+		BaseLatency:    cfg.NoCBaseLatency,
+		BusBytes:       cfg.NoCBusBytes,
+		CtrlBytes:      8,
+		MaxQueueCycles: 64,
+	})
+	dramCfg := cfg.DRAM
+	dramCfg.Hybrid = cfg.HybridPagePolicy
+	m.mem = dram.New(dramCfg)
+	m.path = newCachePath(cfg, m.xbar, m.mem)
+	for c := 0; c < cfg.NumCores; c++ {
+		m.cores = append(m.cores, cpu.New(c, cfg.Core))
+	}
+	if cfg.SPBytesPerCore > 0 {
+		m.omega = newOmegaHier(cfg, m.path, m.xbar)
+		m.hier = m.omega
+	} else {
+		m.hier = &baselineHier{m.path}
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumCores returns the core count.
+func (m *Machine) NumCores() int { return m.cfg.NumCores }
+
+// HasScratchpads reports whether this is an OMEGA-style machine.
+func (m *Machine) HasScratchpads() bool { return m.omega != nil }
+
+// MonitorFor builds the scratchpad monitor register describing a vtxProp
+// region (the configuration the translated framework writes at startup,
+// §V.F).
+func (m *Machine) MonitorFor(r *Region) scratchpad.MonitorRegister {
+	return scratchpad.MonitorRegister{
+		StartAddr: r.Base,
+		TypeSize:  uint8(r.ElemSize),
+		Stride:    uint32(r.ElemSize),
+		Count:     uint32(r.Count),
+	}
+}
+
+// ConfigureGraph loads the scratchpad monitor registers and PISC microcode
+// for the running algorithm and returns how many of the hottest vertices
+// are scratchpad-resident (0 on the baseline machine). The framework calls
+// this once per run, before the algorithm starts.
+func (m *Machine) ConfigureGraph(monitors []scratchpad.MonitorRegister, totalVertices int, mc pisc.Microcode) int {
+	if m.omega == nil {
+		if m.cfg.LockedLines {
+			return m.lockHotLines(monitors, totalVertices)
+		}
+		return 0
+	}
+	if cap := m.cfg.SPResidentCap; cap > 0 && cap < totalVertices {
+		totalVertices = cap
+	}
+	return m.omega.configure(monitors, totalVertices, mc)
+}
+
+// lockHotLines pins the vtxProp lines of the hottest vertices into their
+// home L2 banks (§IX's locked-cache alternative). It returns how many
+// vertices were fully pinned. The pin budget mirrors OMEGA's hot set: 20%
+// of the vertices (or SPResidentCap), bounded by set-conflict limits —
+// every set must keep a replaceable way.
+func (m *Machine) lockHotLines(monitors []scratchpad.MonitorRegister, totalVertices int) int {
+	limit := totalVertices / 5
+	if m.cfg.SPResidentCap > 0 && m.cfg.SPResidentCap < limit {
+		limit = m.cfg.SPResidentCap
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	pinnedVertices := 0
+	for v := 0; v < limit; v++ {
+		ok := true
+		for _, mon := range monitors {
+			if uint32(v) >= mon.Count {
+				continue
+			}
+			addr := mon.StartAddr + memsys.Addr(uint64(v)*uint64(mon.Stride))
+			line := memsys.LineAddr(addr)
+			bank := m.path.homeBank(line)
+			if !m.path.l2[bank].Pin(m.path.l2Local(line)) {
+				ok = false
+			}
+		}
+		if ok {
+			pinnedVertices++
+		}
+	}
+	return pinnedVertices
+}
+
+// EnableVertexProfile starts counting vtxProp accesses per vertex
+// (Figures 4(b) and 5).
+func (m *Machine) EnableVertexProfile(numVertices int) {
+	m.vertexProfile = make([]uint64, numVertices)
+}
+
+// VertexProfile returns the per-vertex vtxProp access counts, or nil.
+func (m *Machine) VertexProfile() []uint64 { return m.vertexProfile }
+
+// BeginIteration marks an algorithm iteration boundary.
+func (m *Machine) BeginIteration() {
+	m.iterations.Inc()
+	m.hier.BeginIteration()
+}
+
+// ElapsedCycles returns the max core clock — the simulated execution time.
+func (m *Machine) ElapsedCycles() memsys.Cycles {
+	var mx memsys.Cycles
+	for _, c := range m.cores {
+		if c.Clock() > mx {
+			mx = c.Clock()
+		}
+	}
+	return mx
+}
+
+// Ctx is the handle a framework closure uses to emit simulated work for
+// one core.
+type Ctx struct {
+	m    *Machine
+	core int
+}
+
+// Core returns the simulated core ID.
+func (c *Ctx) Core() int { return c.core }
+
+// Exec retires ops ALU/branch instructions on this core.
+func (c *Ctx) Exec(ops int) { c.m.cores[c.core].Exec(ops) }
+
+func (c *Ctx) access(r *Region, i int, op memsys.Op, srcRead, dependent bool) {
+	a := memsys.Access{
+		Core:      c.core,
+		Addr:      r.Addr(i),
+		Size:      uint8(r.ElemSize),
+		Op:        op,
+		Kind:      r.Kind,
+		SrcRead:   srcRead,
+		Dependent: dependent,
+	}
+	if r.Kind == memsys.KindVtxProp {
+		a.Vertex = uint32(i)
+		if c.m.vertexProfile != nil && i < len(c.m.vertexProfile) {
+			c.m.vertexProfile[i]++
+		}
+	}
+	c.m.accessesByKind[r.Kind].Inc()
+	if op == memsys.OpAtomic {
+		c.m.atomicsIssued.Inc()
+	}
+	if srcRead {
+		c.m.srcReads.Inc()
+	}
+	core := c.m.cores[c.core]
+	res := c.m.hier.Access(core.Clock(), a)
+	if c.m.tracer != nil {
+		c.m.tracer.Record(core.Clock(), a, res)
+	}
+	name := res.LevelName
+	if op == memsys.OpAtomic {
+		name = "atomic:" + name
+	}
+	c.m.levelCount[name]++
+	c.m.levelLatency[name] += uint64(res.Latency)
+	core.Mem(res)
+}
+
+// SetTracer installs an access tracer (nil disables tracing).
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// LevelProfile returns per-level access counts and summed latencies.
+func (m *Machine) LevelProfile() (counts, latencies map[string]uint64) {
+	counts = make(map[string]uint64, len(m.levelCount))
+	latencies = make(map[string]uint64, len(m.levelLatency))
+	for k, v := range m.levelCount {
+		counts[k] = v
+	}
+	for k, v := range m.levelLatency {
+		latencies[k] = v
+	}
+	return
+}
+
+// Read emits a plain load of element i of region r.
+func (c *Ctx) Read(r *Region, i int) { c.access(r, i, memsys.OpRead, false, false) }
+
+// ReadDependent emits a load the core must stall for.
+func (c *Ctx) ReadDependent(r *Region, i int) { c.access(r, i, memsys.OpRead, false, true) }
+
+// ReadSrc emits a source-vertex property read (served by OMEGA's source
+// vertex buffer when possible). Source reads from different edges are
+// independent, so the out-of-order window overlaps them like any other
+// load.
+func (c *Ctx) ReadSrc(r *Region, i int) { c.access(r, i, memsys.OpRead, true, false) }
+
+// Write emits a plain store.
+func (c *Ctx) Write(r *Region, i int) { c.access(r, i, memsys.OpWrite, false, false) }
+
+// Atomic emits an atomic read-modify-write. Under the AtomicsAsPlain
+// ablation (§III) it degrades to a plain load + store pair: independent
+// read-modify-writes overlap in the out-of-order window once the fence
+// semantics are gone.
+func (c *Ctx) Atomic(r *Region, i int) {
+	if c.m.cfg.AtomicsAsPlain {
+		c.access(r, i, memsys.OpRead, false, false)
+		c.access(r, i, memsys.OpWrite, false, false)
+		return
+	}
+	c.access(r, i, memsys.OpAtomic, false, false)
+}
+
+// ParallelFor schedules body(i) for i in [0,n) over all cores using
+// OpenMP-style static chunking with the machine's configured chunk size,
+// and ends with a barrier. Cores are interleaved by local clock so shared
+// resources see a realistic arrival order.
+func (m *Machine) ParallelFor(n int, body func(ctx *Ctx, i int)) {
+	m.ParallelForGrain(n, m.cfg.OpenMPChunk, body)
+}
+
+// ParallelForGrain is ParallelFor with an explicit chunk size.
+func (m *Machine) ParallelForGrain(n, chunk int, body func(ctx *Ctx, i int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	p := m.cfg.NumCores
+	numChunks := (n + chunk - 1) / chunk
+	// nextChunk[c] is the next chunk index owned by core c under static
+	// scheduling (OpenMP schedule(static, chunk)); under dynamic
+	// scheduling chunks are taken from a shared counter when a core goes
+	// idle (Ligra-style work stealing).
+	nextChunk := make([]int, p)
+	for c := range nextChunk {
+		if m.cfg.DynamicSchedule {
+			nextChunk[c] = -1 // not yet claimed
+		} else {
+			nextChunk[c] = c
+		}
+	}
+	dynNext := 0
+	ctxs := make([]Ctx, p)
+	for c := range ctxs {
+		ctxs[c] = Ctx{m: m, core: c}
+	}
+	// Scheduling interleaves at item granularity: the lowest-clock core
+	// with work runs one item, which keeps core clocks tightly coupled so
+	// shared-resource (DRAM/NoC) arrival order stays realistic.
+	itemInChunk := make([]int, p)
+	for {
+		sel := -1
+		for c := 0; c < p; c++ {
+			if m.cfg.DynamicSchedule && nextChunk[c] < 0 {
+				if dynNext >= numChunks {
+					continue
+				}
+				nextChunk[c] = dynNext
+				dynNext++
+			}
+			if nextChunk[c] >= numChunks {
+				continue
+			}
+			if sel < 0 || m.cores[c].Clock() < m.cores[sel].Clock() {
+				sel = c
+			}
+		}
+		if sel < 0 {
+			break
+		}
+		k := nextChunk[sel]
+		i := k*chunk + itemInChunk[sel]
+		if i < n {
+			body(&ctxs[sel], i)
+		}
+		itemInChunk[sel]++
+		if itemInChunk[sel] >= chunk || i+1 >= n {
+			itemInChunk[sel] = 0
+			if m.cfg.DynamicSchedule {
+				nextChunk[sel] = -1
+			} else {
+				nextChunk[sel] = k + p
+			}
+		}
+	}
+	m.Barrier()
+}
+
+// Sequential runs body on core 0 (the paper's framework executes
+// inter-region glue on one thread), then synchronizes all cores.
+func (m *Machine) Sequential(body func(ctx *Ctx)) {
+	ctx := &Ctx{m: m, core: 0}
+	body(ctx)
+	m.Barrier()
+}
+
+// Barrier drains every core's outstanding-miss window and aligns all
+// clocks to the maximum (bulk-synchronous region end).
+func (m *Machine) Barrier() {
+	var mx memsys.Cycles
+	for _, c := range m.cores {
+		c.DrainWindow()
+		if c.Clock() > mx {
+			mx = c.Clock()
+		}
+	}
+	for _, c := range m.cores {
+		c.SetClock(mx)
+	}
+}
+
+// String describes the machine briefly.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s: %d cores, L2 %d KB/core, SP %d KB/core, PISC=%v",
+		m.cfg.Name, m.cfg.NumCores, m.cfg.L2BytesPerCore>>10,
+		m.cfg.SPBytesPerCore>>10, m.cfg.PISC)
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"omega/internal/cpu"
+	"omega/internal/memsys"
+	"omega/internal/memsys/noc"
+)
+
+// MachineStats is the complete statistical snapshot of a finished run.
+// Every table and figure of the paper is computed from these fields.
+type MachineStats struct {
+	// Name is the machine name ("baseline"/"omega").
+	Name string
+	// Cycles is simulated execution time (max core clock).
+	Cycles memsys.Cycles
+	// Instructions retired across all cores.
+	Instructions uint64
+	// TMAM is the summed cycle breakdown (Figure 3).
+	TMAM cpu.Breakdown
+
+	// L1HitRate / L2HitRate are measured cache hit rates (Figure 4(a)).
+	L1HitRate float64
+	L2HitRate float64
+	// LLCHitRate is the "last-level storage" hit rate of Figure 15:
+	// the baseline's L2 hit rate, or OMEGA's combined
+	// (L2 hits + scratchpad accesses) / (L2 accesses + scratchpad accesses).
+	LLCHitRate float64
+
+	// SPAccesses / SPLocalFraction / SrcBufHitRate describe the
+	// scratchpad side (zero on the baseline).
+	SPAccesses      uint64
+	SPLocalFraction float64
+	SrcBufHitRate   float64
+	// SPResident is the number of scratchpad-resident vertices.
+	SPResident int
+	// PISCOps is the number of offloaded atomic operations executed.
+	PISCOps uint64
+
+	// DRAM statistics (Figure 16).
+	DRAMAccesses  uint64
+	DRAMBytes     uint64
+	DRAMRowHit    float64
+	DRAMUtilized  float64 // achieved/peak bandwidth over the run
+	DRAMQueueWait uint64
+
+	// On-chip traffic in bytes, total and per class (Figure 17).
+	NoCBytes     uint64
+	NoCLineBytes uint64
+	NoCWordBytes uint64
+	NoCCtrlBytes uint64
+
+	// NoCQueueWait accumulates crossbar queueing delay.
+	NoCQueueWait uint64
+
+	// Coherence activity.
+	Invalidations uint64
+	C2CTransfers  uint64
+
+	// Stall attribution across cores (diagnostics).
+	BlockingStall uint64
+	WindowStall   uint64
+	DrainStall    uint64
+	OffloadStall  uint64
+
+	// Issue-side access mix (Table II characterization).
+	AccessesByKind [4]uint64
+	Atomics        uint64
+	SrcReads       uint64
+	Iterations     uint64
+}
+
+// TotalAccesses sums the issue-side access counts.
+func (s MachineStats) TotalAccesses() uint64 {
+	var t uint64
+	for _, v := range s.AccessesByKind {
+		t += v
+	}
+	return t
+}
+
+// Speedup returns other.Cycles / s.Cycles: how much faster s is than
+// other.
+func (s MachineStats) Speedup(other MachineStats) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(other.Cycles) / float64(s.Cycles)
+}
+
+// Stats snapshots the machine's statistics.
+func (m *Machine) Stats() MachineStats {
+	s := MachineStats{
+		Name:   m.cfg.Name,
+		Cycles: m.ElapsedCycles(),
+	}
+	for _, c := range m.cores {
+		s.Instructions += c.Instructions()
+		b := c.Breakdown()
+		s.TMAM.Retiring += b.Retiring
+		s.TMAM.Frontend += b.Frontend
+		s.TMAM.MemoryBound += b.MemoryBound
+		s.TMAM.CoreBound += b.CoreBound
+		s.BlockingStall += uint64(c.BlockingStall)
+		s.WindowStall += uint64(c.WindowStall)
+		s.DrainStall += uint64(c.DrainStall)
+		s.OffloadStall += uint64(c.OffloadStall)
+	}
+	l1h, l1t := m.path.l1HitRate()
+	if l1t > 0 {
+		s.L1HitRate = float64(l1h) / float64(l1t)
+	}
+	l2h, l2t := m.path.l2HitRate()
+	if l2t > 0 {
+		s.L2HitRate = float64(l2h) / float64(l2t)
+	}
+	s.LLCHitRate = s.L2HitRate
+	if m.omega != nil {
+		sp := m.omega.ctrl.Accesses()
+		s.SPAccesses = sp
+		if sp > 0 {
+			s.SPLocalFraction = float64(m.omega.ctrl.LocalAccesses.Value()) / float64(sp)
+		}
+		s.SrcBufHitRate = m.omega.ctrl.SrcBufHits.Rate()
+		s.SPResident = m.omega.ctrl.ResidentCount()
+		for _, e := range m.omega.engines {
+			s.PISCOps += e.Executed.Value()
+		}
+		if l2t+sp > 0 {
+			s.LLCHitRate = float64(l2h+sp) / float64(l2t+sp)
+		}
+	}
+	s.DRAMAccesses = m.mem.Accesses.Value()
+	s.DRAMBytes = m.mem.BytesMoved.Value()
+	s.DRAMRowHit = m.mem.RowHits.Rate()
+	s.DRAMUtilized = m.mem.Utilization(s.Cycles)
+	s.DRAMQueueWait = m.mem.QueueDelay.Value()
+	s.NoCBytes = m.xbar.TotalBytes()
+	s.NoCLineBytes = m.xbar.BytesByClass(noc.ClassLine)
+	s.NoCWordBytes = m.xbar.BytesByClass(noc.ClassWord)
+	s.NoCCtrlBytes = m.xbar.BytesByClass(noc.ClassCtrl)
+	s.NoCQueueWait = m.xbar.QueueWait.Value()
+	s.Invalidations = m.path.dir.Invalidations.Value()
+	s.C2CTransfers = m.path.dir.C2CTransfers.Value()
+	for k := range s.AccessesByKind {
+		s.AccessesByKind[k] = m.accessesByKind[k].Value()
+	}
+	s.Atomics = m.atomicsIssued.Value()
+	s.SrcReads = m.srcReads.Value()
+	s.Iterations = m.iterations.Value()
+	return s
+}
+
+// Reset clears all simulation state (clocks, caches, stats), keeping the
+// configuration and allocations.
+func (m *Machine) Reset() {
+	for _, c := range m.cores {
+		c.Reset()
+	}
+	m.xbar.Reset()
+	m.mem.Reset()
+	if m.omega != nil {
+		m.omega.reset()
+	} else {
+		m.path.reset()
+	}
+	for i := range m.accessesByKind {
+		m.accessesByKind[i].Reset()
+	}
+	m.atomicsIssued.Reset()
+	m.srcReads.Reset()
+	m.iterations.Reset()
+	m.levelCount = make(map[string]uint64)
+	m.levelLatency = make(map[string]uint64)
+	if m.vertexProfile != nil {
+		for i := range m.vertexProfile {
+			m.vertexProfile[i] = 0
+		}
+	}
+}
+
+// JSON renders the stats as indented JSON for downstream tooling.
+func (s MachineStats) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Summary renders the headline statistics as readable text.
+func (s MachineStats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] cycles=%d instr=%d\n", s.Name, s.Cycles, s.Instructions)
+	fmt.Fprintf(&b, "  L1 %.1f%%  L2 %.1f%%  LLC(storage) %.1f%%\n",
+		100*s.L1HitRate, 100*s.L2HitRate, 100*s.LLCHitRate)
+	fmt.Fprintf(&b, "  DRAM: %d accesses, %.2f MB, util %.1f%%, row-hit %.1f%%\n",
+		s.DRAMAccesses, float64(s.DRAMBytes)/(1<<20), 100*s.DRAMUtilized, 100*s.DRAMRowHit)
+	fmt.Fprintf(&b, "  NoC: %.2f MB (line %.2f / word %.2f / ctrl %.2f)\n",
+		float64(s.NoCBytes)/(1<<20), float64(s.NoCLineBytes)/(1<<20),
+		float64(s.NoCWordBytes)/(1<<20), float64(s.NoCCtrlBytes)/(1<<20))
+	if s.SPAccesses > 0 {
+		fmt.Fprintf(&b, "  SP: %d accesses (%.1f%% local), srcbuf %.1f%%, resident %d, PISC ops %d\n",
+			s.SPAccesses, 100*s.SPLocalFraction, 100*s.SrcBufHitRate, s.SPResident, s.PISCOps)
+	}
+	t := s.TMAM.Total()
+	if t > 0 {
+		fmt.Fprintf(&b, "  TMAM: retiring %.0f%% frontend %.0f%% mem %.0f%% core %.0f%%\n",
+			100*float64(s.TMAM.Retiring)/float64(t),
+			100*float64(s.TMAM.Frontend)/float64(t),
+			100*float64(s.TMAM.MemoryBound)/float64(t),
+			100*float64(s.TMAM.CoreBound)/float64(t))
+	}
+	return b.String()
+}

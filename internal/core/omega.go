@@ -1,0 +1,163 @@
+package core
+
+import (
+	"omega/internal/memsys"
+	"omega/internal/memsys/noc"
+	"omega/internal/pisc"
+	"omega/internal/scratchpad"
+	"omega/internal/stats"
+)
+
+// baselineHier is the baseline machine's memory system: the cache path and
+// nothing else.
+type baselineHier struct {
+	*cachePath
+}
+
+// BeginIteration is a no-op: the baseline has no iteration-scoped state.
+func (h *baselineHier) BeginIteration() {}
+
+// omegaHier is the OMEGA heterogeneous memory system: a scratchpad
+// controller with PISC engines in front of a (half-sized) cache path.
+// vtxProp accesses to scratchpad-resident vertices are served at word
+// granularity by local or remote slices; atomics among them are offloaded
+// to the home PISC; everything else flows through the cache path.
+type omegaHier struct {
+	*cachePath
+	ctrl    *scratchpad.Controller
+	engines []*pisc.Engine
+	xbar    *noc.Crossbar
+	cfg     Config
+
+	offloads    stats.Counter
+	spAtomics   stats.Counter // atomics executed at SP without PISC
+	remoteReads stats.Counter
+}
+
+func newOmegaHier(cfg Config, path *cachePath, xbar *noc.Crossbar) *omegaHier {
+	spCfg := scratchpad.Config{
+		NumCores:         cfg.NumCores,
+		BytesPerCore:     cfg.SPBytesPerCore,
+		LatencyCycles:    cfg.SPLat,
+		ChunkSize:        cfg.chunkSize(),
+		SrcBufferEntries: cfg.SrcBufEntries,
+	}
+	h := &omegaHier{
+		cachePath: path,
+		ctrl:      scratchpad.NewController(spCfg),
+		xbar:      xbar,
+		cfg:       cfg,
+	}
+	for c := 0; c < cfg.NumCores; c++ {
+		h.engines = append(h.engines, pisc.NewEngine(pisc.DefaultConfig(cfg.SPLat)))
+	}
+	return h
+}
+
+// BeginIteration invalidates the source vertex buffers (paper §V.C).
+func (h *omegaHier) BeginIteration() { h.ctrl.InvalidateSrcBufs() }
+
+// Access routes one access through the heterogeneous hierarchy.
+func (h *omegaHier) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
+	if a.Kind == memsys.KindVtxProp {
+		if v, resident := h.ctrl.Match(a.Addr); resident {
+			return h.spAccess(now, a, v)
+		}
+	}
+	return h.cachePath.Access(now, a)
+}
+
+// spAccess serves a scratchpad-resident vtxProp access.
+func (h *omegaHier) spAccess(now memsys.Cycles, a memsys.Access, v uint32) memsys.Result {
+	home := h.ctrl.Home(v)
+	local := home == a.Core
+	h.ctrl.RecordAccess(local)
+	spLat := h.ctrl.Latency()
+	size := int(a.Size)
+	if size <= 0 || size > 8 {
+		size = 8
+	}
+
+	switch a.Op {
+	case memsys.OpAtomic:
+		if h.cfg.PISC {
+			// Offload: one word packet carries the operand and vertex ID
+			// (§V.E custom packets of up to 64 bits).
+			h.offloads.Inc()
+			var sendLat memsys.Cycles
+			if local {
+				sendLat = 1
+				h.xbar.Send(now, a.Core, home, size, noc.ClassWord)
+			} else {
+				sendLat = h.xbar.Send(now, a.Core, home, size, noc.ClassWord)
+			}
+			stall, _ := h.engines[home].Offload(now + sendLat)
+			return memsys.Result{Latency: stall, Offloaded: true, LevelName: "PISC"}
+		}
+		// Scratchpads without PISC (§X.A ablation): the core performs
+		// the read-modify-write itself. The controller locks only the
+		// word (§VIII), so the core blocks for the read round trip and
+		// the ALU op; the unlocking write is posted.
+		h.spAtomics.Inc()
+		var lat memsys.Cycles
+		if local {
+			lat = spLat + 2
+			h.xbar.Send(now, a.Core, home, size, noc.ClassWord)
+		} else {
+			rt := h.xbar.RoundTrip(now, a.Core, home, 0, size, noc.ClassWord)
+			lat = rt + spLat + 2
+			h.xbar.Send(now+lat, a.Core, home, size, noc.ClassWord)
+		}
+		return memsys.Result{Latency: lat, Blocking: true, LevelName: "SP-atomic"}
+
+	case memsys.OpRead:
+		if a.SrcRead && h.cfg.SrcBufEntries > 0 {
+			if h.ctrl.SrcBufLookup(a.Core, v) {
+				return memsys.Result{Latency: 1, LevelName: "SrcBuf"}
+			}
+		}
+		if local {
+			return memsys.Result{
+				Latency:   spLat,
+				Blocking:  a.Dependent,
+				LevelName: "SP-local",
+			}
+		}
+		h.remoteReads.Inc()
+		lat := h.xbar.RoundTrip(now, a.Core, home, 0, size, noc.ClassWord) + spLat
+		return memsys.Result{Latency: lat, Blocking: a.Dependent, LevelName: "SP-remote"}
+
+	default: // OpWrite
+		return h.spWrite(now, a.Core, home, local, size, spLat)
+	}
+}
+
+// spWrite models a posted (non-blocking) word write to a slice.
+func (h *omegaHier) spWrite(now memsys.Cycles, core, home int, local bool, size int, spLat memsys.Cycles) memsys.Result {
+	if local {
+		h.xbar.Send(now, core, home, size, noc.ClassWord)
+		return memsys.Result{Latency: spLat, LevelName: "SP-local"}
+	}
+	lat := h.xbar.Send(now, core, home, size, noc.ClassWord) + spLat
+	return memsys.Result{Latency: lat, LevelName: "SP-remote"}
+}
+
+// configure loads monitor registers and microcode.
+func (h *omegaHier) configure(monitors []scratchpad.MonitorRegister, totalVertices int, mc pisc.Microcode) int {
+	n := h.ctrl.Configure(monitors, totalVertices)
+	for _, e := range h.engines {
+		e.LoadMicrocode(mc)
+	}
+	return n
+}
+
+func (h *omegaHier) reset() {
+	h.cachePath.reset()
+	h.ctrl.Reset()
+	for _, e := range h.engines {
+		e.Reset()
+	}
+	h.offloads.Reset()
+	h.spAtomics.Reset()
+	h.remoteReads.Reset()
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"omega/internal/algorithms"
+	"omega/internal/core"
+	"omega/internal/graph/reorder"
+	"omega/internal/ligra"
+)
+
+// AblationScratchpadOnly reproduces §X.A: OMEGA with the PISC engines
+// disabled, isolating the storage benefit (paper: 1.3x vs >3x with PISCs
+// for PageRank on lj).
+func AblationScratchpadOnly(o Options) *Table {
+	o = o.Defaults()
+	spec, _ := algorithms.ByName("PageRank")
+	t := &Table{
+		ID:     "Ablation A1 (§X.A)",
+		Title:  "scratchpads as storage only (PISC disabled), PageRank",
+		Header: []string{"dataset", "sp-only speedup", "full OMEGA speedup"},
+	}
+	for _, name := range []string{"rmat", "social"} {
+		pr := prepareDataset(mustDataset(name), o, false)
+		baseCfg, omCfg := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, o.Coverage)
+		noPisc := omCfg
+		noPisc.PISC = false
+		noPisc.Name = "omega-nopisc"
+		base := spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g))
+		sp := spec.Run(ligra.New(core.NewMachine(noPisc), pr.g))
+		full := spec.Run(ligra.New(core.NewMachine(omCfg), pr.g))
+		t.AddRow(name, sp.Speedup(base), full.Speedup(base))
+	}
+	t.Notes = append(t.Notes, "paper: 1.3x storage-only vs >3x with PISCs on lj")
+	return t
+}
+
+// AblationAtomicOverhead reproduces the §III estimate of atomic-
+// instruction overhead: PageRank with every atomic replaced by a plain
+// read/write pair (paper: overhead of up to 50% on real hardware).
+func AblationAtomicOverhead(o Options) *Table {
+	o = o.Defaults()
+	spec, _ := algorithms.ByName("PageRank")
+	t := &Table{
+		ID:     "Ablation A2 (§III)",
+		Title:  "atomic instruction overhead on the baseline, PageRank",
+		Header: []string{"dataset", "atomic cycles", "plain r/w cycles", "overhead %"},
+	}
+	for _, name := range []string{"rmat", "social"} {
+		pr := prepareDataset(mustDataset(name), o, false)
+		baseCfg, _ := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, o.Coverage)
+		atomic := spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g))
+		plainCfg := baseCfg
+		plainCfg.AtomicsAsPlain = true
+		plainCfg.Name = "baseline-plain"
+		plain := spec.Run(ligra.New(core.NewMachine(plainCfg), pr.g))
+		ovh := 100 * (float64(atomic.Cycles)/float64(plain.Cycles) - 1)
+		t.AddRow(name, uint64(atomic.Cycles), uint64(plain.Cycles), ovh)
+	}
+	t.Notes = append(t.Notes,
+		"paper measured up to 50% on a Xeon; our model serializes every atomic for",
+		"its full miss latency (x86 LOCK semantics), so the overhead is larger —",
+		"the direction (atomics are a first-order cost) is the reproduced claim")
+	return t
+}
+
+// AblationReordering reproduces the §III reordering study on the baseline
+// machine: in-degree (+8% paper), out-degree (+6.3%), SlashBurn (~none).
+func AblationReordering(o Options) *Table {
+	o = o.Defaults()
+	spec, _ := algorithms.ByName("PageRank")
+	t := &Table{
+		ID:     "Ablation A3 (§III)",
+		Title:  "offline reordering on the baseline CMP, PageRank",
+		Header: []string{"ordering", "cycles", "speedup vs original"},
+	}
+	ds := mustDataset("rmat")
+	orig := ds.Build(o, false)
+	var baseCycles uint64
+	for _, m := range []reorder.Method{
+		reorder.Identity, reorder.InDegree, reorder.OutDegree, reorder.SlashBurn,
+	} {
+		g := reorder.Apply(orig, reorder.Compute(orig, m))
+		baseCfg, _ := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, o.Coverage)
+		st := spec.Run(ligra.New(core.NewMachine(baseCfg), g))
+		if m == reorder.Identity {
+			baseCycles = uint64(st.Cycles)
+		}
+		t.AddRow(m.String(), uint64(st.Cycles),
+			fmt.Sprintf("%.1f%%", 100*(float64(baseCycles)/float64(st.Cycles)-1)))
+	}
+	t.Notes = append(t.Notes,
+		"paper: +8% in-degree, +6.3% out-degree, none for SlashBurn —",
+		"reordering alone cannot deliver OMEGA-class gains")
+	return t
+}
+
+// AblationChunkMapping reproduces §V.D: the cost of a scratchpad mapping
+// whose chunk size mismatches the framework's scheduling chunk, measured
+// on PageRank's sequential vtxProp walk.
+func AblationChunkMapping(o Options) *Table {
+	o = o.Defaults()
+	spec, _ := algorithms.ByName("PageRank")
+	t := &Table{
+		ID:     "Ablation A4 (§V.D)",
+		Title:  "scratchpad chunk mapping vs OpenMP chunk (static schedule), PageRank",
+		Header: []string{"sp chunk", "omp chunk", "local SP access %", "cycles"},
+	}
+	pr := prepareDataset(mustDataset("rmat"), o, false)
+	_, omCfg := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, o.Coverage)
+	omCfg.DynamicSchedule = false // static scheduling is the §V.D setting
+	omCfg.PISC = false            // isolate access locality from PISC load balance
+	for _, spChunk := range []int{omCfg.OpenMPChunk, 1} {
+		cfg := omCfg
+		cfg.SPChunkSize = spChunk
+		st := spec.Run(ligra.New(core.NewMachine(cfg), pr.g))
+		t.AddRow(spChunk, cfg.OpenMPChunk, 100*st.SPLocalFraction, uint64(st.Cycles))
+	}
+	t.Notes = append(t.Notes,
+		"matched chunks turn the sequential copy's scratchpad accesses local (§V.D)")
+	return t
+}
+
+// AblationLockedCache reproduces the §IX "locked cache vs. scratchpad"
+// discussion: pinning the hot vtxProp lines in the L2 avoids most off-chip
+// misses but still moves data at cache-line granularity and executes
+// atomics on the cores, so it captures only part of OMEGA's gain.
+func AblationLockedCache(o Options) *Table {
+	o = o.Defaults()
+	spec, _ := algorithms.ByName("PageRank")
+	t := &Table{
+		ID:     "Ablation A5 (§IX)",
+		Title:  "locked cache lines vs scratchpads, PageRank",
+		Header: []string{"dataset", "locked-cache speedup", "OMEGA speedup", "locked traffic x", "OMEGA traffic x"},
+	}
+	for _, name := range []string{"rmat", "social"} {
+		pr := prepareDataset(mustDataset(name), o, false)
+		baseCfg, omCfg := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, o.Coverage)
+		lockedCfg := baseCfg
+		lockedCfg.LockedLines = true
+		lockedCfg.Name = "locked-cache"
+		base := spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g))
+		locked := spec.Run(ligra.New(core.NewMachine(lockedCfg), pr.g))
+		om := spec.Run(ligra.New(core.NewMachine(omCfg), pr.g))
+		t.AddRow(name,
+			locked.Speedup(base), om.Speedup(base),
+			float64(base.NoCBytes)/float64(locked.NoCBytes),
+			float64(base.NoCBytes)/float64(om.NoCBytes))
+	}
+	t.Notes = append(t.Notes,
+		"paper §IX: locking avoids architecture changes but \"would still suffer",
+		"from high on-chip communication overhead because data is inefficiently",
+		"accessed on a cache-line granularity instead of word granularity\"")
+	return t
+}
+
+// AblationPrefetcher strengthens the baseline with a next-line stream
+// prefetcher (absent from Table III) and checks that OMEGA's advantage
+// survives: prefetching helps the sequential edge stream, which both
+// machines have, but not the random vtxProp traffic OMEGA targets.
+func AblationPrefetcher(o Options) *Table {
+	o = o.Defaults()
+	spec, _ := algorithms.ByName("PageRank")
+	t := &Table{
+		ID:     "Ablation A6 (robustness)",
+		Title:  "baseline with a next-line stream prefetcher, PageRank",
+		Header: []string{"dataset", "speedup vs plain baseline", "speedup vs prefetching baseline"},
+	}
+	for _, name := range []string{"rmat", "social"} {
+		pr := prepareDataset(mustDataset(name), o, false)
+		baseCfg, omCfg := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, o.Coverage)
+		pfCfg := baseCfg
+		pfCfg.L1Prefetch = true
+		pfCfg.Name = "baseline+prefetch"
+		base := spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g))
+		pf := spec.Run(ligra.New(core.NewMachine(pfCfg), pr.g))
+		om := spec.Run(ligra.New(core.NewMachine(omCfg), pr.g))
+		t.AddRow(name, om.Speedup(base), om.Speedup(pf))
+	}
+	t.Notes = append(t.Notes,
+		"a stream prefetcher cannot touch the random vtxProp traffic, so",
+		"OMEGA's win must persist against the strengthened baseline")
+	return t
+}
+
+// RunAll executes every experiment in DESIGN.md §4 order.
+func RunAll(o Options) []*Table {
+	o = o.Defaults()
+	return []*Table{
+		Table1(o), Table2(o), Table3(o), Table4(o),
+		Figure3(o), Figure4a(o), Figure4b(o), Figure5(o),
+		Figure14(o), Figure15(o), Figure16(o), Figure17(o),
+		Figure18(o), Figure19(o), Figure20(o), Figure21(o),
+		AblationScratchpadOnly(o), AblationAtomicOverhead(o),
+		AblationReordering(o), AblationChunkMapping(o),
+		AblationLockedCache(o), AblationPrefetcher(o),
+		ExtensionSlicing(o), ExtensionDynamicGraph(o), ExtensionPagePolicy(o),
+		ExtensionGraphMat(o), ExtensionScaleRobustness(o), ExtensionSeedSensitivity(o),
+		ExtensionTraversalDirection(o),
+	}
+}

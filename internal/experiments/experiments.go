@@ -1,0 +1,273 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each runner
+// returns a structured Table whose rows mirror what the paper reports;
+// cmd/omega-bench prints them all and bench_test.go wraps each in a
+// testing.B benchmark.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"omega/internal/core"
+	"omega/internal/graph"
+	"omega/internal/graph/gen"
+	"omega/internal/graph/reorder"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale is log2 of the vertex count for generated datasets. The
+	// default (13) keeps the full suite under a minute; raise it for
+	// closer-to-paper regimes.
+	Scale int
+	// Seed drives all generators.
+	Seed uint64
+	// Coverage is the scratchpad sizing fraction (0.20 in the paper).
+	Coverage float64
+}
+
+// Defaults fills zero values.
+func (o Options) Defaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 13
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Coverage == 0 {
+		o.Coverage = 0.20
+	}
+	return o
+}
+
+// Table is a formatted experiment result.
+type Table struct {
+	// ID is the paper artifact ("Table I", "Figure 14", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data rows.
+	Rows [][]string
+	// Notes carries the paper-vs-measured commentary.
+	Notes []string
+}
+
+// AddRow appends a row built from values via fmt.Sprint.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Chart renders one numeric column as an ASCII bar chart, labeled by the
+// first column — a terminal rendition of the paper's bar figures.
+func (t *Table) Chart(col int, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s (column %q) ==\n", t.ID, t.Title, t.Header[min(col, len(t.Header)-1)])
+	maxV := 0.0
+	vals := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		if col >= len(r) {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(r[col], "%"), 64)
+		if err != nil {
+			continue
+		}
+		vals[i] = v
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		return b.String()
+	}
+	labelW := 0
+	for _, r := range t.Rows {
+		if len(r[0]) > labelW {
+			labelW = len(r[0])
+		}
+	}
+	for i, r := range t.Rows {
+		bar := int(vals[i] / maxV * float64(width))
+		fmt.Fprintf(&b, "%-*s %8.2f %s\n", labelW, r[0], vals[i], strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// JSON renders the table as a JSON object with id, title, header, rows,
+// and notes — for downstream tooling.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes}, "", "  ")
+}
+
+// TSV renders the table as tab-separated values.
+func (t *Table) TSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, "\t") + "\n")
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, "\t") + "\n")
+	}
+	return b.String()
+}
+
+// Dataset is a synthetic stand-in for one of the paper's Table I datasets.
+type Dataset struct {
+	// Name is the short label used in figures.
+	Name string
+	// StandsFor names the paper dataset(s) this replaces.
+	StandsFor string
+	// Undirected marks symmetric graphs.
+	Undirected bool
+	// PowerLaw is the expected classification.
+	PowerLaw bool
+	// Build generates the graph (weighted if asked).
+	Build func(o Options, weighted bool) *graph.Graph
+}
+
+// StandardDatasets returns the dataset pool mirroring Table I's mix of
+// small/large, directed/undirected, power-law/non-power-law graphs.
+func StandardDatasets() []Dataset {
+	return []Dataset{
+		{
+			Name: "rmat", StandsFor: "rMat", PowerLaw: true,
+			Build: func(o Options, w bool) *graph.Graph {
+				cfg := gen.DefaultRMAT(o.Scale, o.Seed)
+				cfg.Weighted = w
+				return gen.RMAT(cfg)
+			},
+		},
+		{
+			Name: "social", StandsFor: "lj / orkut / wiki", PowerLaw: true,
+			Build: func(o Options, w bool) *graph.Graph {
+				return gen.BarabasiAlbert(gen.BAConfig{
+					NumVertices:      1 << o.Scale,
+					EdgesPerVertex:   12,
+					Seed:             o.Seed + 1,
+					Weighted:         w,
+					BackEdgeFraction: 0.3,
+				})
+			},
+		},
+		{
+			Name: "web", StandsFor: "ic / uk / sd", PowerLaw: true,
+			Build: func(o Options, w bool) *graph.Graph {
+				cfg := gen.RMATConfig{
+					ScaleLog2:  o.Scale,
+					EdgeFactor: 16,
+					A:          0.65, B: 0.15, C: 0.15,
+					Seed:     o.Seed + 2,
+					Weighted: w,
+				}
+				return gen.RMAT(cfg)
+			},
+		},
+		{
+			Name: "apu", StandsFor: "ca-AstroPh (undirected)", Undirected: true, PowerLaw: true,
+			Build: func(o Options, w bool) *graph.Graph {
+				cfg := gen.DefaultRMAT(o.Scale-1, o.Seed+3)
+				cfg.Undirected = true
+				cfg.Weighted = w
+				return gen.RMAT(cfg)
+			},
+		},
+		{
+			Name: "road", StandsFor: "roadNet-CA/PA, Western-USA", Undirected: true, PowerLaw: false,
+			Build: func(o Options, w bool) *graph.Graph {
+				return gen.RoadGrid(gen.RoadConfig{
+					Side:          1 << (o.Scale / 2),
+					ExtraFraction: 0.1,
+					Seed:          o.Seed + 4,
+					Weighted:      w,
+				})
+			},
+		},
+	}
+}
+
+// DatasetByName resolves a stand-in by label.
+func DatasetByName(name string) (Dataset, bool) {
+	for _, d := range StandardDatasets() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+// prepared bundles a generated, in-degree-reordered graph.
+type prepared struct {
+	ds Dataset
+	g  *graph.Graph
+}
+
+// prepareDataset builds and reorders a dataset (§VI: OMEGA's static
+// placement relies on in-degree ordering).
+func prepareDataset(ds Dataset, o Options, weighted bool) prepared {
+	g := ds.Build(o, weighted)
+	g = reorder.Apply(g, reorder.Compute(g, reorder.InDegree))
+	g.Name = ds.Name
+	return prepared{ds: ds, g: g}
+}
+
+// machinesFor builds the scaled baseline/OMEGA pair for a graph and
+// per-vertex property footprint.
+func machinesFor(g *graph.Graph, vtxPropBytes int, o Options) (*core.Machine, *core.Machine) {
+	b, om := core.ScaledPair(g.NumVertices(), vtxPropBytes, o.Coverage)
+	return core.NewMachine(b), core.NewMachine(om)
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestExtensionSlicingShape(t *testing.T) {
+	tbl := ExtensionSlicing(cheapOpts())
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		if red := cellFloat(t, tbl, i, 4); red < 3.0 || red > 6.0 {
+			t.Fatalf("row %d: reduction %.2f outside the paper's ~5x band", i, red)
+		}
+		if cell(tbl, i, 5) != "true" {
+			t.Fatalf("row %d: sliced PageRank not exact", i)
+		}
+	}
+}
+
+func TestExtensionDynamicGraphShape(t *testing.T) {
+	tbl := ExtensionDynamicGraph(cheapOpts())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		stale := cellFloat(t, tbl, i, 1)
+		fresh := cellFloat(t, tbl, i, 2)
+		staleCov := cellFloat(t, tbl, i, 3)
+		freshCov := cellFloat(t, tbl, i, 4)
+		if freshCov <= staleCov {
+			t.Fatalf("row %d: refresh must restore hot coverage (%.1f vs %.1f)",
+				i, freshCov, staleCov)
+		}
+		if fresh < stale-0.05 {
+			t.Fatalf("row %d: refresh must not hurt (%.2f vs %.2f)", i, fresh, stale)
+		}
+	}
+}
+
+func TestExtensionPagePolicyShape(t *testing.T) {
+	tbl := ExtensionPagePolicy(cheapOpts())
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// Close-page must kill the row-hit rate; hybrid sits between the two.
+	openHit := cellFloat(t, tbl, 0, 2)
+	closeHit := cellFloat(t, tbl, 1, 2)
+	hybridHit := cellFloat(t, tbl, 2, 2)
+	if closeHit != 0 {
+		t.Fatalf("close-page row-hit %.1f, want 0", closeHit)
+	}
+	if hybridHit <= closeHit || hybridHit >= openHit {
+		t.Fatalf("hybrid row-hit %.1f should sit between close (%.1f) and open (%.1f)",
+			hybridHit, closeHit, openHit)
+	}
+}
+
+func TestExtensionGraphMatShape(t *testing.T) {
+	tbl := ExtensionGraphMat(cheapOpts())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		if sp := cellFloat(t, tbl, i, 2); sp < 1.05 {
+			t.Fatalf("row %d: GraphMat should also gain from OMEGA: %.2f", i, sp)
+		}
+		if atomics := cellFloat(t, tbl, i, 4); atomics != 0 {
+			t.Fatalf("row %d: GraphMat baseline issued %v atomics", i, atomics)
+		}
+		if piscOps := cellFloat(t, tbl, i, 3); piscOps == 0 {
+			t.Fatalf("row %d: OMEGA GraphMat should offload to PISCs", i)
+		}
+	}
+}
+
+func TestExtensionScaleRobustnessShape(t *testing.T) {
+	tbl := ExtensionScaleRobustness(Options{Scale: 11, Seed: 42, Coverage: 0.2})
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		sp := cellFloat(t, tbl, i, 1)
+		if sp < 1.5 {
+			t.Fatalf("row %d: PageRank speedup %.2f fell out of band", i, sp)
+		}
+		baseLLC := cellFloat(t, tbl, i, 2)
+		omLLC := cellFloat(t, tbl, i, 3)
+		if omLLC <= baseLLC {
+			t.Fatalf("row %d: OMEGA storage hit rate must beat baseline", i)
+		}
+	}
+}
+
+func TestAblationLockedCacheShape(t *testing.T) {
+	tbl := AblationLockedCache(cheapOpts())
+	for i := range tbl.Rows {
+		locked := cellFloat(t, tbl, i, 1)
+		om := cellFloat(t, tbl, i, 2)
+		lockedTraffic := cellFloat(t, tbl, i, 3)
+		omTraffic := cellFloat(t, tbl, i, 4)
+		if om <= locked {
+			t.Fatalf("row %d: OMEGA (%.2f) must beat locked cache (%.2f)", i, om, locked)
+		}
+		if omTraffic <= lockedTraffic {
+			t.Fatalf("row %d: OMEGA must cut traffic where locking cannot", i)
+		}
+	}
+}
+
+func TestGrowGraphPreservesStructure(t *testing.T) {
+	o := cheapOpts()
+	base := prepareDataset(mustDataset("rmat"), o, false)
+	grown := growGraph(base.g, 30, 99)
+	if err := grown.Validate(); err != nil {
+		t.Fatalf("grown graph invalid: %v", err)
+	}
+	if grown.NumVertices() != base.g.NumVertices() {
+		t.Fatal("growth must not change the vertex count")
+	}
+	if grown.NumEdges() <= base.g.NumEdges() {
+		t.Fatal("growth must add edges")
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ReportMeta describes one generated report.
+type ReportMeta struct {
+	// Title heads the page.
+	Title string
+	// Options echoes the experiment options used.
+	Options Options
+	// Generated is the generation timestamp (set by the caller so runs
+	// stay reproducible).
+	Generated time.Time
+	// Runtime is the wall-clock cost of the run.
+	Runtime time.Duration
+}
+
+// reportTable adapts a Table for the template, attaching per-row bars for
+// a heuristically chosen numeric column.
+type reportTable struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// BarCol is the column rendered with bars (-1 = none).
+	BarCol int
+	// BarWidths holds a 0-100 width percentage per row.
+	BarWidths []int
+}
+
+// barColumn picks the column to visualize: the first whose header mentions
+// a rate-like quantity, else -1.
+func barColumn(t *Table) int {
+	for i, h := range t.Header {
+		lh := strings.ToLower(h)
+		if strings.Contains(lh, "speedup") || strings.Contains(lh, "reduction") ||
+			strings.Contains(lh, "saving") || strings.Contains(lh, "improvement") {
+			return i
+		}
+	}
+	return -1
+}
+
+func buildReportTable(t *Table) reportTable {
+	rt := reportTable{
+		ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows,
+		Notes: t.Notes, BarCol: barColumn(t),
+	}
+	if rt.BarCol < 0 {
+		return rt
+	}
+	maxV := 0.0
+	vals := make([]float64, len(t.Rows))
+	for i, r := range t.Rows {
+		if rt.BarCol < len(r) {
+			if v, err := strconv.ParseFloat(strings.TrimSuffix(r[rt.BarCol], "%"), 64); err == nil {
+				vals[i] = v
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+	}
+	if maxV == 0 {
+		rt.BarCol = -1
+		return rt
+	}
+	rt.BarWidths = make([]int, len(t.Rows))
+	for i, v := range vals {
+		rt.BarWidths[i] = int(v / maxV * 100)
+	}
+	return rt
+}
+
+var reportTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
+	"mulf": func(a, b float64) float64 { return a * b },
+}).Parse(reportSrc))
+
+const reportSrc = `<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{{.Meta.Title}}</title>
+<style>
+body{font-family:system-ui,sans-serif;margin:2rem auto;max-width:72rem;color:#1a1a2e}
+h1{border-bottom:2px solid #334;padding-bottom:.3rem}
+h2{margin-top:2.2rem;color:#223}
+table{border-collapse:collapse;margin:.6rem 0}
+th,td{border:1px solid #bbc;padding:.25rem .6rem;text-align:left;font-size:.92rem}
+th{background:#eef}
+.note{color:#556;font-size:.85rem;margin:.15rem 0}
+.bar{display:inline-block;height:.7rem;background:#4a7dcf;vertical-align:middle;margin-left:.4rem}
+.meta{color:#667;font-size:.85rem}
+</style></head><body>
+<h1>{{.Meta.Title}}</h1>
+<p class="meta">generated {{.Meta.Generated.Format "2006-01-02 15:04:05"}} ·
+scale 2^{{.Meta.Options.Scale}} · seed {{.Meta.Options.Seed}} ·
+coverage {{printf "%.0f%%" (mulf .Meta.Options.Coverage 100)}} ·
+runtime {{.Meta.Runtime}}</p>
+{{range .Tables}}
+<h2>{{.ID}} — {{.Title}}</h2>
+<table><tr>{{range .Header}}<th>{{.}}</th>{{end}}</tr>
+{{$t := .}}
+{{range $ri, $row := .Rows}}<tr>{{range $ci, $cell := $row}}<td>{{$cell}}{{if and (eq $ci $t.BarCol) $t.BarWidths}}<span class="bar" style="width:{{index $t.BarWidths $ri}}px"></span>{{end}}</td>{{end}}</tr>
+{{end}}</table>
+{{range .Notes}}<p class="note">note: {{.}}</p>{{end}}
+{{end}}
+</body></html>
+`
+
+// WriteHTMLReport renders the given experiment tables as a self-contained
+// HTML page with inline bar charts for speedup-class columns.
+func WriteHTMLReport(w io.Writer, meta ReportMeta, tables []*Table) error {
+	if meta.Title == "" {
+		meta.Title = "OMEGA reproduction report"
+	}
+	rts := make([]reportTable, 0, len(tables))
+	for _, t := range tables {
+		rts = append(rts, buildReportTable(t))
+	}
+	data := struct {
+		Meta   ReportMeta
+		Tables []reportTable
+	}{meta, rts}
+	if err := reportTmpl.Execute(w, data); err != nil {
+		return fmt.Errorf("experiments: render report: %w", err)
+	}
+	return nil
+}

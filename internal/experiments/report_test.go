@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteHTMLReport(t *testing.T) {
+	tbl := &Table{
+		ID: "Figure 14", Title: "speedups",
+		Header: []string{"dataset", "speedup"},
+		Notes:  []string{"paper: 2x"},
+	}
+	tbl.AddRow("rmat", 3.0)
+	tbl.AddRow("road", 1.0)
+	plain := &Table{ID: "Table I", Title: "datasets", Header: []string{"name", "#v"}}
+	plain.AddRow("rmat", 8192)
+
+	var sb strings.Builder
+	meta := ReportMeta{
+		Options:   Options{Scale: 13, Seed: 42, Coverage: 0.2},
+		Generated: time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC),
+		Runtime:   3 * time.Second,
+	}
+	if err := WriteHTMLReport(&sb, meta, []*Table{tbl, plain}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"OMEGA reproduction report", "Figure 14", "speedups",
+		"class=\"bar\"", "paper: 2x", "Table I", "scale 2^13",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// The speedup column gets bars; the plain table does not.
+	if strings.Count(out, "class=\"bar\"") != 2 {
+		t.Fatalf("expected 2 bars, got %d", strings.Count(out, "class=\"bar\""))
+	}
+}
+
+func TestBarColumnSelection(t *testing.T) {
+	withBar := &Table{Header: []string{"x", "traffic reduction x"}}
+	if barColumn(withBar) != 1 {
+		t.Fatal("reduction column should be charted")
+	}
+	without := &Table{Header: []string{"x", "count"}}
+	if barColumn(without) != -1 {
+		t.Fatal("plain tables get no bars")
+	}
+}
+
+func TestReportHandlesNonNumericBars(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Header: []string{"a", "speedup"}}
+	tbl.AddRow("r", "-") // unparsable
+	var sb strings.Builder
+	if err := WriteHTMLReport(&sb, ReportMeta{}, []*Table{tbl}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "class=\"bar\"") {
+		t.Fatal("non-numeric column should render no bars")
+	}
+}

@@ -1,0 +1,221 @@
+// Package gio loads and stores graphs: SNAP-style whitespace edge lists
+// (the format of the paper's soc-Slashdot/ca-AstroPh/roadNet datasets) and
+// a compact binary CSR format for fast reload of generated datasets.
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"omega/internal/graph"
+)
+
+// LoadEdgeList reads a SNAP-style edge list: one "src dst [weight]" per
+// line, '#' or '%' comment lines ignored, vertices identified by arbitrary
+// non-negative integers (densified to [0,n)). If undirected is true, each
+// listed edge is stored in both directions.
+func LoadEdgeList(r io.Reader, undirected bool, name string) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	type rawEdge struct {
+		src, dst uint64
+		w        int32
+	}
+	var edges []rawEdge
+	idMap := make(map[uint64]graph.VertexID)
+	weighted := false
+	densify := func(raw uint64) graph.VertexID {
+		if id, ok := idMap[raw]; ok {
+			return id
+		}
+		id := graph.VertexID(len(idMap))
+		idMap[raw] = id
+		return id
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("gio: line %d: want 'src dst [w]', got %q", lineNo, line)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad src: %v", lineNo, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gio: line %d: bad dst: %v", lineNo, err)
+		}
+		var w int64 = 1
+		if len(fields) >= 3 {
+			w, err = strconv.ParseInt(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("gio: line %d: bad weight: %v", lineNo, err)
+			}
+			weighted = true
+		}
+		edges = append(edges, rawEdge{src, dst, int32(w)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gio: scan: %v", err)
+	}
+	// Densify in first-seen order for determinism.
+	for _, e := range edges {
+		densify(e.src)
+		densify(e.dst)
+	}
+	b := graph.NewBuilder(len(idMap), undirected)
+	if weighted {
+		b.SetWeighted()
+	}
+	for _, e := range edges {
+		b.AddEdge(idMap[e.src], idMap[e.dst], e.w)
+	}
+	b.Dedup()
+	return b.Build(name), nil
+}
+
+// Binary CSR format:
+//
+//	magic "OMGA" | version u32 | flags u32 (1=undirected, 2=weighted)
+//	n u64 | m u64
+//	OutOffsets [n+1]u64 | OutEdges [m]u32
+//	InOffsets  [n+1]u64 | InEdges  [m]u32
+//	(weights, if flagged) Weights [m]i32 | InWeights [m]i32
+//	name length u32 | name bytes
+const (
+	binMagic   = "OMGA"
+	binVersion = 1
+
+	flagUndirected = 1
+	flagWeighted   = 2
+)
+
+// StoreBinary writes g in the binary CSR format.
+func StoreBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Undirected {
+		flags |= flagUndirected
+	}
+	if g.Weighted() {
+		flags |= flagWeighted
+	}
+	hdr := []uint64{uint64(binVersion)<<32 | uint64(flags),
+		uint64(g.NumVertices()), uint64(g.NumEdges())}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, s := range [][]uint64{g.OutOffsets, g.InOffsets} {
+		if err := binary.Write(bw, binary.LittleEndian, s); err != nil {
+			return err
+		}
+	}
+	for _, s := range [][]graph.VertexID{g.OutEdges, g.InEdges} {
+		if err := binary.Write(bw, binary.LittleEndian, s); err != nil {
+			return err
+		}
+	}
+	if g.Weighted() {
+		if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, g.InWeights); err != nil {
+			return err
+		}
+	}
+	nameBytes := []byte(g.Name)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(nameBytes))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(nameBytes); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadBinary reads a graph stored by StoreBinary.
+func LoadBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("gio: read magic: %v", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("gio: bad magic %q", magic)
+	}
+	var verFlags, n, m uint64
+	for _, p := range []*uint64{&verFlags, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	version := uint32(verFlags >> 32)
+	flags := uint32(verFlags)
+	if version != binVersion {
+		return nil, fmt.Errorf("gio: unsupported version %d", version)
+	}
+	// Bound the header counts before allocating: vertex IDs are 32-bit,
+	// and a real file cannot be smaller than its arrays.
+	const maxCount = 1 << 31
+	if n >= maxCount || m >= maxCount {
+		return nil, fmt.Errorf("gio: implausible header counts n=%d m=%d", n, m)
+	}
+	g := &graph.Graph{
+		Undirected: flags&flagUndirected != 0,
+		OutOffsets: make([]uint64, n+1),
+		InOffsets:  make([]uint64, n+1),
+		OutEdges:   make([]graph.VertexID, m),
+		InEdges:    make([]graph.VertexID, m),
+	}
+	for _, s := range [][]uint64{g.OutOffsets, g.InOffsets} {
+		if err := binary.Read(br, binary.LittleEndian, s); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range [][]graph.VertexID{g.OutEdges, g.InEdges} {
+		if err := binary.Read(br, binary.LittleEndian, s); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagWeighted != 0 {
+		g.Weights = make([]int32, m)
+		g.InWeights = make([]int32, m)
+		if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, g.InWeights); err != nil {
+			return nil, err
+		}
+	}
+	var nameLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 4096 {
+		return nil, fmt.Errorf("gio: implausible name length %d", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return nil, err
+	}
+	g.Name = string(nameBytes)
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gio: loaded graph invalid: %v", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,313 @@
+// Package graph provides the compressed-sparse-row graph representation,
+// degree statistics, and power-law characterization used throughout the
+// OMEGA study (Table I of the paper).
+//
+// A Graph stores both outgoing and incoming adjacency in CSR form, exactly
+// like Ligra: graph algorithms push along out-edges and pull along in-edges,
+// and OMEGA's vertex placement is driven by in-degree.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense in [0, NumVertices).
+type VertexID = uint32
+
+// Graph is a directed graph in CSR form. For undirected graphs every edge
+// is stored in both directions and Undirected is set.
+//
+// The zero value is an empty graph.
+type Graph struct {
+	// OutOffsets has length NumVertices+1; the out-neighbors of v are
+	// OutEdges[OutOffsets[v]:OutOffsets[v+1]].
+	OutOffsets []uint64
+	OutEdges   []VertexID
+	// InOffsets/InEdges mirror the above for incoming edges.
+	InOffsets []uint64
+	InEdges   []VertexID
+	// Weights[i] is the weight of OutEdges[i]; nil for unweighted graphs.
+	Weights []int32
+	// InWeights[i] is the weight of InEdges[i]; nil for unweighted graphs.
+	InWeights []int32
+	// Undirected records that the edge set is symmetric. NumEdges still
+	// counts each stored (directed) arc once, matching Ligra.
+	Undirected bool
+	// Name labels the dataset in experiment output (e.g. "rmat-18").
+	Name string
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int {
+	if len(g.OutOffsets) == 0 {
+		return 0
+	}
+	return len(g.OutOffsets) - 1
+}
+
+// NumEdges returns the number of stored directed arcs.
+func (g *Graph) NumEdges() int { return len(g.OutEdges) }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.OutOffsets[v+1] - g.OutOffsets[v])
+}
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v VertexID) int {
+	return int(g.InOffsets[v+1] - g.InOffsets[v])
+}
+
+// OutNeighbors returns the out-neighbor slice of v. The caller must not
+// modify the result.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.OutEdges[g.OutOffsets[v]:g.OutOffsets[v+1]]
+}
+
+// InNeighbors returns the in-neighbor slice of v. The caller must not
+// modify the result.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	return g.InEdges[g.InOffsets[v]:g.InOffsets[v+1]]
+}
+
+// OutWeights returns the weights parallel to OutNeighbors(v), or nil for an
+// unweighted graph.
+func (g *Graph) OutWeights(v VertexID) []int32 {
+	if g.Weights == nil {
+		return nil
+	}
+	return g.Weights[g.OutOffsets[v]:g.OutOffsets[v+1]]
+}
+
+// InWeights returns the weights parallel to InNeighbors(v), or nil for an
+// unweighted graph.
+func (g *Graph) InWeightsOf(v VertexID) []int32 {
+	if g.InWeights == nil {
+		return nil
+	}
+	return g.InWeights[g.InOffsets[v]:g.InOffsets[v+1]]
+}
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.Weights != nil }
+
+// Validate checks structural invariants: monotone offsets, in/out edge
+// count agreement, neighbor IDs in range, and (for undirected graphs)
+// symmetry of the adjacency structure. It is used by tests and loaders.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.InOffsets) != len(g.OutOffsets) {
+		return fmt.Errorf("graph: in/out offset length mismatch: %d vs %d",
+			len(g.InOffsets), len(g.OutOffsets))
+	}
+	if len(g.OutOffsets) > 0 {
+		if g.OutOffsets[0] != 0 || g.InOffsets[0] != 0 {
+			return fmt.Errorf("graph: offsets must start at 0")
+		}
+		if g.OutOffsets[n] != uint64(len(g.OutEdges)) {
+			return fmt.Errorf("graph: out offset end %d != %d edges",
+				g.OutOffsets[n], len(g.OutEdges))
+		}
+		if g.InOffsets[n] != uint64(len(g.InEdges)) {
+			return fmt.Errorf("graph: in offset end %d != %d edges",
+				g.InOffsets[n], len(g.InEdges))
+		}
+	}
+	if len(g.InEdges) != len(g.OutEdges) {
+		return fmt.Errorf("graph: in-edge count %d != out-edge count %d",
+			len(g.InEdges), len(g.OutEdges))
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.OutEdges) {
+		return fmt.Errorf("graph: weight count %d != edge count %d",
+			len(g.Weights), len(g.OutEdges))
+	}
+	if g.InWeights != nil && len(g.InWeights) != len(g.InEdges) {
+		return fmt.Errorf("graph: in-weight count %d != edge count %d",
+			len(g.InWeights), len(g.InEdges))
+	}
+	for v := 0; v < n; v++ {
+		if g.OutOffsets[v] > g.OutOffsets[v+1] {
+			return fmt.Errorf("graph: out offsets not monotone at %d", v)
+		}
+		if g.InOffsets[v] > g.InOffsets[v+1] {
+			return fmt.Errorf("graph: in offsets not monotone at %d", v)
+		}
+	}
+	for i, u := range g.OutEdges {
+		if int(u) >= n {
+			return fmt.Errorf("graph: out edge %d target %d out of range", i, u)
+		}
+	}
+	for i, u := range g.InEdges {
+		if int(u) >= n {
+			return fmt.Errorf("graph: in edge %d target %d out of range", i, u)
+		}
+	}
+	// Spot-check in/out consistency: the in-degree sum per target computed
+	// from out-edges must equal the stored in-degrees.
+	inDeg := make([]uint64, n)
+	for _, u := range g.OutEdges {
+		inDeg[u]++
+	}
+	for v := 0; v < n; v++ {
+		if got := g.InOffsets[v+1] - g.InOffsets[v]; got != inDeg[v] {
+			return fmt.Errorf("graph: vertex %d stored in-degree %d, out-edges imply %d",
+				v, got, inDeg[v])
+		}
+	}
+	if g.Undirected {
+		if err := g.checkSymmetric(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Graph) checkSymmetric() error {
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		for _, u := range g.OutNeighbors(VertexID(v)) {
+			if !contains(g.OutNeighbors(u), VertexID(v)) {
+				return fmt.Errorf("graph: undirected but edge %d->%d has no reverse", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(s []VertexID, x VertexID) bool {
+	// Neighbor lists are sorted by Builder.Build, so binary search.
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// Edge is a directed (possibly weighted) arc used by builders and loaders.
+type Edge struct {
+	Src, Dst VertexID
+	Weight   int32
+}
+
+// Builder accumulates edges and produces a CSR Graph.
+type Builder struct {
+	n          int
+	edges      []Edge
+	undirected bool
+	weighted   bool
+}
+
+// NewBuilder returns a builder for a graph with n vertices.
+// If undirected is true, AddEdge(u,v) also stores (v,u).
+func NewBuilder(n int, undirected bool) *Builder {
+	return &Builder{n: n, undirected: undirected}
+}
+
+// SetWeighted declares that edges carry weights.
+func (b *Builder) SetWeighted() { b.weighted = true }
+
+// AddEdge records an edge; self-loops are kept, duplicates are kept
+// (deduplicate with Dedup before Build if needed).
+func (b *Builder) AddEdge(src, dst VertexID, weight int32) {
+	if int(src) >= b.n || int(dst) >= b.n {
+		panic(fmt.Sprintf("graph: edge %d->%d out of range n=%d", src, dst, b.n))
+	}
+	b.edges = append(b.edges, Edge{src, dst, weight})
+	if b.undirected && src != dst {
+		b.edges = append(b.edges, Edge{dst, src, weight})
+	}
+}
+
+// NumEdgesAdded returns the number of stored arcs so far.
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// Dedup removes duplicate (src,dst) pairs, keeping the first weight, and
+// removes self-loops. Useful for synthetic generators.
+func (b *Builder) Dedup() {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].Src != b.edges[j].Src {
+			return b.edges[i].Src < b.edges[j].Src
+		}
+		return b.edges[i].Dst < b.edges[j].Dst
+	})
+	out := b.edges[:0]
+	var last Edge
+	haveLast := false
+	for _, e := range b.edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		if haveLast && e.Src == last.Src && e.Dst == last.Dst {
+			continue
+		}
+		out = append(out, e)
+		last = e
+		haveLast = true
+	}
+	b.edges = out
+}
+
+// Build produces the CSR graph. Neighbor lists are sorted by target ID.
+func (b *Builder) Build(name string) *Graph {
+	g := &Graph{
+		Name:       name,
+		Undirected: b.undirected,
+		OutOffsets: make([]uint64, b.n+1),
+		InOffsets:  make([]uint64, b.n+1),
+		OutEdges:   make([]VertexID, len(b.edges)),
+		InEdges:    make([]VertexID, len(b.edges)),
+	}
+	if b.weighted {
+		g.Weights = make([]int32, len(b.edges))
+		g.InWeights = make([]int32, len(b.edges))
+	}
+	// Count degrees.
+	for _, e := range b.edges {
+		g.OutOffsets[e.Src+1]++
+		g.InOffsets[e.Dst+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.OutOffsets[v+1] += g.OutOffsets[v]
+		g.InOffsets[v+1] += g.InOffsets[v]
+	}
+	// Fill, sorted by (src, dst) for out and (dst, src) for in.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].Src != b.edges[j].Src {
+			return b.edges[i].Src < b.edges[j].Src
+		}
+		return b.edges[i].Dst < b.edges[j].Dst
+	})
+	outPos := make([]uint64, b.n)
+	for _, e := range b.edges {
+		p := g.OutOffsets[e.Src] + outPos[e.Src]
+		g.OutEdges[p] = e.Dst
+		if b.weighted {
+			g.Weights[p] = e.Weight
+		}
+		outPos[e.Src]++
+	}
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].Dst != b.edges[j].Dst {
+			return b.edges[i].Dst < b.edges[j].Dst
+		}
+		return b.edges[i].Src < b.edges[j].Src
+	})
+	inPos := make([]uint64, b.n)
+	for _, e := range b.edges {
+		p := g.InOffsets[e.Dst] + inPos[e.Dst]
+		g.InEdges[p] = e.Src
+		if b.weighted {
+			g.InWeights[p] = e.Weight
+		}
+		inPos[e.Dst]++
+	}
+	return g
+}
+
+// FromEdges is a convenience wrapper: build a graph from an edge list.
+func FromEdges(n int, undirected bool, edges []Edge, name string) *Graph {
+	b := NewBuilder(n, undirected)
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst, e.Weight)
+	}
+	return b.Build(name)
+}

@@ -1,0 +1,251 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"omega/internal/stats"
+)
+
+// tinyDirected builds the 5-vertex directed graph
+// 0->1, 0->2, 1->2, 2->3, 3->0, 3->4.
+func tinyDirected(t *testing.T) *Graph {
+	t.Helper()
+	g := FromEdges(5, false, []Edge{
+		{0, 1, 1}, {0, 2, 1}, {1, 2, 1}, {2, 3, 1}, {3, 0, 1}, {3, 4, 1},
+	}, "tiny")
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return g
+}
+
+func TestBuildDirected(t *testing.T) {
+	g := tinyDirected(t)
+	if g.NumVertices() != 5 || g.NumEdges() != 6 {
+		t.Fatalf("shape %d/%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(4) != 0 {
+		t.Fatalf("out degrees wrong")
+	}
+	if g.InDegree(2) != 2 || g.InDegree(4) != 1 {
+		t.Fatalf("in degrees wrong")
+	}
+	out0 := g.OutNeighbors(0)
+	if len(out0) != 2 || out0[0] != 1 || out0[1] != 2 {
+		t.Fatalf("out(0) = %v", out0)
+	}
+	in2 := g.InNeighbors(2)
+	if len(in2) != 2 || in2[0] != 0 || in2[1] != 1 {
+		t.Fatalf("in(2) = %v", in2)
+	}
+}
+
+func TestBuildUndirectedSymmetric(t *testing.T) {
+	b := NewBuilder(4, true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.Build("path")
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("undirected path should store 6 arcs, got %d", g.NumEdges())
+	}
+	if g.OutDegree(1) != 2 || g.InDegree(1) != 2 {
+		t.Fatal("degree of middle vertex should be 2 both ways")
+	}
+}
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(0, 1, 9) // duplicate
+	b.AddEdge(1, 1, 1) // self loop
+	b.AddEdge(1, 2, 3)
+	b.Dedup()
+	g := b.Build("dedup")
+	if g.NumEdges() != 2 {
+		t.Fatalf("want 2 edges after dedup, got %d", g.NumEdges())
+	}
+}
+
+func TestWeightsFollowEdges(t *testing.T) {
+	b := NewBuilder(3, false)
+	b.SetWeighted()
+	b.AddEdge(0, 2, 7)
+	b.AddEdge(0, 1, 3)
+	g := b.Build("w")
+	ws := g.OutWeights(0)
+	ns := g.OutNeighbors(0)
+	if ns[0] != 1 || ws[0] != 3 || ns[1] != 2 || ws[1] != 7 {
+		t.Fatalf("weights misaligned: %v %v", ns, ws)
+	}
+	// In-edges: weight of 0->2 must appear on in-neighbor list of 2.
+	iw := g.InWeightsOf(2)
+	if len(iw) != 1 || iw[0] != 7 {
+		t.Fatalf("in weights misaligned: %v", iw)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := tinyDirected(t)
+	g.OutEdges[0] = 99
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected out-of-range edge to fail validation")
+	}
+}
+
+func TestValidateCatchesInOutMismatch(t *testing.T) {
+	g := tinyDirected(t)
+	// Swap an in-edge so the per-vertex in-degree bookkeeping mismatches.
+	g.InEdges[0], g.InEdges[len(g.InEdges)-1] = g.InEdges[len(g.InEdges)-1], g.InEdges[0]
+	// Swapping entries alone keeps counts; instead break an offset.
+	g.InOffsets[1]++
+	g.InOffsets[2]-- // keep end the same but shift a boundary
+	_ = g
+	// Rebuild a clean graph and break the symmetric invariant instead:
+	g2 := FromEdges(2, false, []Edge{{0, 1, 1}}, "x")
+	g2.InEdges[0] = 0 // now out-edges imply in-degree(1)=1 but stored in(1) says src 0->0
+	g2.InOffsets = []uint64{0, 1, 1}
+	if err := g2.Validate(); err == nil {
+		t.Fatal("expected in/out mismatch to fail validation")
+	}
+}
+
+func TestDegreeStatsPowerLawClassification(t *testing.T) {
+	// Star graph: vertex 0 receives edges from everyone -> extreme skew.
+	n := 100
+	var edges []Edge
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{VertexID(v), 0, 1})
+	}
+	star := FromEdges(n, false, edges, "star")
+	s := ComputeDegreeStats(star)
+	if !s.PowerLaw {
+		t.Fatalf("star should classify as power-law: %+v", s)
+	}
+	if s.InDegreeConnectivity < 99 {
+		t.Fatalf("star top-20%% in connectivity = %v", s.InDegreeConnectivity)
+	}
+
+	// Ring graph: perfectly uniform degree -> no skew.
+	edges = edges[:0]
+	for v := 0; v < n; v++ {
+		edges = append(edges, Edge{VertexID(v), VertexID((v + 1) % n), 1})
+	}
+	ring := FromEdges(n, false, edges, "ring")
+	s = ComputeDegreeStats(ring)
+	if s.PowerLaw {
+		t.Fatalf("ring should not classify as power-law: %+v", s)
+	}
+	if s.InDegreeConnectivity < 19 || s.InDegreeConnectivity > 21 {
+		t.Fatalf("ring top-20%% share should be ~20%%, got %v", s.InDegreeConnectivity)
+	}
+}
+
+func TestDegreeStatsEmptyGraph(t *testing.T) {
+	g := &Graph{}
+	s := ComputeDegreeStats(g)
+	if s.NumVertices != 0 || s.PowerLaw {
+		t.Fatalf("empty graph stats: %+v", s)
+	}
+}
+
+func TestTopKByInDegree(t *testing.T) {
+	g := tinyDirected(t)
+	// in-degrees: v0=1, v1=1, v2=2, v3=1, v4=1
+	top := TopKByInDegree(g, 2)
+	if top[0] != 2 {
+		t.Fatalf("top in-degree vertex should be 2, got %d", top[0])
+	}
+	if top[1] != 0 {
+		t.Fatalf("tie should break to lowest ID (0), got %d", top[1])
+	}
+	if len(TopKByInDegree(g, 99)) != 5 {
+		t.Fatal("k > n should clamp")
+	}
+}
+
+func TestAccessShareToTopK(t *testing.T) {
+	g := tinyDirected(t)
+	acc := []uint64{0, 0, 100, 0, 0} // all accesses to the hottest vertex
+	share := AccessShareToTopK(g, acc, 0.20)
+	if share != 1.0 {
+		t.Fatalf("share = %v, want 1.0", share)
+	}
+	acc = []uint64{25, 25, 0, 25, 25}
+	share = AccessShareToTopK(g, acc, 0.20)
+	if share != 0 {
+		t.Fatalf("share = %v, want 0", share)
+	}
+	if AccessShareToTopK(g, nil, 0.2) != 0 {
+		t.Fatal("mismatched access slice should return 0")
+	}
+}
+
+func TestCumulativeDegreeShareMonotone(t *testing.T) {
+	r := stats.NewRand(3)
+	var edges []Edge
+	n := 200
+	for i := 0; i < 2000; i++ {
+		edges = append(edges, Edge{VertexID(r.Intn(n)), VertexID(r.Intn(n)), 1})
+	}
+	g := FromEdges(n, false, edges, "rand")
+	cum := CumulativeDegreeShare(g)
+	if len(cum) != 100 {
+		t.Fatalf("want 100 points, got %d", len(cum))
+	}
+	for i := 1; i < 100; i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("not monotone at %d: %v < %v", i, cum[i], cum[i-1])
+		}
+	}
+	if cum[99] < 0.999 {
+		t.Fatalf("100%% of vertices must cover all edges, got %v", cum[99])
+	}
+}
+
+func TestBuildPropertyInOutConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRand(seed)
+		n := 2 + r.Intn(60)
+		m := r.Intn(200)
+		b := NewBuilder(n, false)
+		for i := 0; i < m; i++ {
+			b.AddEdge(VertexID(r.Intn(n)), VertexID(r.Intn(n)), 1)
+		}
+		g := b.Build("prop")
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPropertyUndirectedSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRand(seed)
+		n := 2 + r.Intn(40)
+		b := NewBuilder(n, true)
+		for i := 0; i < 80; i++ {
+			b.AddEdge(VertexID(r.Intn(n)), VertexID(r.Intn(n)), 1)
+		}
+		b.Dedup()
+		g := b.Build("undir")
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2, false).AddEdge(0, 5, 1)
+}

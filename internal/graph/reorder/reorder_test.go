@@ -1,0 +1,243 @@
+package reorder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"omega/internal/graph"
+	"omega/internal/graph/gen"
+	"omega/internal/stats"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := gen.RMAT(gen.DefaultRMAT(9, 13))
+	if err := g.Validate(); err != nil {
+		t.Fatalf("generator produced invalid graph: %v", err)
+	}
+	return g
+}
+
+func TestIdentity(t *testing.T) {
+	g := testGraph(t)
+	p := Compute(g, Identity)
+	for v, nw := range p {
+		if int(nw) != v {
+			t.Fatalf("identity moved %d -> %d", v, nw)
+		}
+	}
+}
+
+func allMethods() []Method {
+	return []Method{Identity, InDegree, OutDegree, Top20Partial, NthElement, SlashBurn}
+}
+
+func TestAllMethodsProduceValidPermutations(t *testing.T) {
+	g := testGraph(t)
+	for _, m := range allMethods() {
+		p := Compute(g, m)
+		if len(p) != g.NumVertices() {
+			t.Fatalf("%v: wrong size", m)
+		}
+		if !p.Valid() {
+			t.Fatalf("%v: not a bijection", m)
+		}
+	}
+}
+
+func TestInDegreeOrderingMonotone(t *testing.T) {
+	g := testGraph(t)
+	p := Compute(g, InDegree)
+	inv := p.Inverse()
+	for rank := 1; rank < len(inv); rank++ {
+		if g.InDegree(inv[rank-1]) < g.InDegree(inv[rank]) {
+			t.Fatalf("in-degree not descending at rank %d", rank)
+		}
+	}
+}
+
+func TestOutDegreeOrderingMonotone(t *testing.T) {
+	g := testGraph(t)
+	p := Compute(g, OutDegree)
+	inv := p.Inverse()
+	for rank := 1; rank < len(inv); rank++ {
+		if g.OutDegree(inv[rank-1]) < g.OutDegree(inv[rank]) {
+			t.Fatalf("out-degree not descending at rank %d", rank)
+		}
+	}
+}
+
+// topSetMinDegree returns the minimum in-degree inside the top-k new IDs
+// and the maximum in-degree outside it.
+func topSplitDegrees(g *graph.Graph, p Permutation, k int) (minTop, maxTail int) {
+	inv := p.Inverse()
+	minTop = 1 << 30
+	for rank, old := range inv {
+		d := g.InDegree(old)
+		if rank < k {
+			if d < minTop {
+				minTop = d
+			}
+		} else if d > maxTail {
+			maxTail = d
+		}
+	}
+	return
+}
+
+func TestNthElementPartitionProperty(t *testing.T) {
+	g := testGraph(t)
+	p := Compute(g, NthElement)
+	k := g.NumVertices() / 5
+	minTop, maxTail := topSplitDegrees(g, p, k)
+	if minTop < maxTail {
+		t.Fatalf("partition violated: min(top)=%d < max(tail)=%d", minTop, maxTail)
+	}
+}
+
+func TestTop20PartialTopSortedAndPartitioned(t *testing.T) {
+	g := testGraph(t)
+	p := Compute(g, Top20Partial)
+	k := g.NumVertices() / 5
+	inv := p.Inverse()
+	for rank := 1; rank < k; rank++ {
+		if g.InDegree(inv[rank-1]) < g.InDegree(inv[rank]) {
+			t.Fatalf("top-20%% region not sorted at %d", rank)
+		}
+	}
+	minTop, maxTail := topSplitDegrees(g, p, k)
+	if minTop < maxTail {
+		t.Fatalf("partition violated: %d < %d", minTop, maxTail)
+	}
+}
+
+func TestApplyPreservesStructure(t *testing.T) {
+	g := testGraph(t)
+	p := Compute(g, InDegree)
+	ng := Apply(g, p)
+	if err := ng.Validate(); err != nil {
+		t.Fatalf("reordered graph invalid: %v", err)
+	}
+	if ng.NumVertices() != g.NumVertices() || ng.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			ng.NumVertices(), ng.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	// Every original edge must exist under the new labels.
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.OutNeighbors(graph.VertexID(v)) {
+			found := false
+			for _, nu := range ng.OutNeighbors(p[v]) {
+				if nu == p[u] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d lost after reorder", v, u)
+			}
+		}
+	}
+}
+
+func TestApplyUndirectedPreservesStructure(t *testing.T) {
+	g := gen.RoadGrid(gen.RoadConfig{Side: 12, Seed: 5})
+	p := Compute(g, InDegree)
+	ng := Apply(g, p)
+	if err := ng.Validate(); err != nil {
+		t.Fatalf("reordered road graph invalid: %v", err)
+	}
+	if ng.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed %d -> %d", g.NumEdges(), ng.NumEdges())
+	}
+	if !ng.Undirected {
+		t.Fatal("undirected flag lost")
+	}
+}
+
+func TestApplyWeightedPreservesWeights(t *testing.T) {
+	b := graph.NewBuilder(3, false)
+	b.SetWeighted()
+	b.AddEdge(0, 1, 11)
+	b.AddEdge(1, 2, 22)
+	g := b.Build("w")
+	p := Permutation{2, 1, 0} // reverse
+	ng := Apply(g, p)
+	ws := ng.OutWeights(2) // old vertex 0
+	if len(ws) != 1 || ws[0] != 11 {
+		t.Fatalf("weight lost: %v", ws)
+	}
+}
+
+func TestInDegreeReorderImprovesTopLocality(t *testing.T) {
+	// After in-degree reordering, the top 20% of vertex IDs must hold at
+	// least as much in-degree mass as any other 20% — i.e. vertex 0 is
+	// the most connected (Figure 6 of the paper).
+	g := testGraph(t)
+	ng := Apply(g, Compute(g, InDegree))
+	if ng.InDegree(0) < ng.InDegree(graph.VertexID(ng.NumVertices()-1)) {
+		t.Fatal("vertex 0 should have the highest in-degree after reordering")
+	}
+	for v := 1; v < ng.NumVertices(); v++ {
+		if ng.InDegree(graph.VertexID(v)) > ng.InDegree(0) {
+			t.Fatalf("vertex %d has higher in-degree than vertex 0", v)
+		}
+	}
+}
+
+func TestSlashBurnPutsHubFirst(t *testing.T) {
+	// Star graph: the hub must end up at the front.
+	n := 50
+	var edges []graph.Edge
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: 0, Weight: 1})
+	}
+	g := graph.FromEdges(n, false, edges, "star")
+	p := Compute(g, SlashBurn)
+	if p[0] != 0 {
+		t.Fatalf("hub should get new ID 0, got %d", p[0])
+	}
+}
+
+func TestPermutationInverseRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRand(seed)
+		n := 1 + r.Intn(100)
+		perm := r.Perm(n)
+		p := make(Permutation, n)
+		for i, v := range perm {
+			p[i] = graph.VertexID(v)
+		}
+		inv := p.Inverse()
+		for old, nw := range p {
+			if inv[nw] != graph.VertexID(old) {
+				return false
+			}
+		}
+		return p.Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermutationValidRejectsDuplicates(t *testing.T) {
+	p := Permutation{0, 0, 1}
+	if p.Valid() {
+		t.Fatal("duplicate mapping should be invalid")
+	}
+	p = Permutation{0, 5, 1}
+	if p.Valid() {
+		t.Fatal("out-of-range mapping should be invalid")
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for _, m := range allMethods() {
+		if m.String() == "unknown" || m.String() == "" {
+			t.Fatalf("method %d has no name", m)
+		}
+	}
+	if Method(99).String() != "unknown" {
+		t.Fatal("unknown method should say so")
+	}
+}

@@ -1,0 +1,171 @@
+package graph
+
+import "sort"
+
+// DegreeStats summarizes a graph's degree structure the way Table I of the
+// paper does: the in-degree/out-degree "connectivity" of the 20 %
+// most-connected vertices and a practical power-law classification.
+type DegreeStats struct {
+	NumVertices int
+	NumEdges    int
+	Undirected  bool
+	// InDegreeConnectivity is the percentage (0-100) of incoming edges
+	// incident to the top-20 % vertices by in-degree.
+	InDegreeConnectivity float64
+	// OutDegreeConnectivity is the percentage of outgoing edges incident
+	// to the top-20 % vertices by out-degree.
+	OutDegreeConnectivity float64
+	// MaxInDegree / MaxOutDegree are the largest degrees observed.
+	MaxInDegree  int
+	MaxOutDegree int
+	// PowerLaw reports the paper's practical 80/20 test: a graph "follows
+	// the power law" when ~20 % of vertices hold ~80 % of the edges. We
+	// use the paper's own datasets as calibration: every power-law graph
+	// in Table I has in-degree connectivity >= 55 %, every non-power-law
+	// graph is <= 30 %. The classifier threshold is 55.
+	PowerLaw bool
+}
+
+// PowerLawThreshold is the in-degree top-20 % connectivity (percent) above
+// which a graph is classified as power-law, calibrated from Table I.
+const PowerLawThreshold = 55.0
+
+// ComputeDegreeStats computes Table I characterization for g.
+func ComputeDegreeStats(g *Graph) DegreeStats {
+	n := g.NumVertices()
+	s := DegreeStats{
+		NumVertices: n,
+		NumEdges:    g.NumEdges(),
+		Undirected:  g.Undirected,
+	}
+	if n == 0 {
+		return s
+	}
+	inDeg := make([]int, n)
+	outDeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		inDeg[v] = g.InDegree(VertexID(v))
+		outDeg[v] = g.OutDegree(VertexID(v))
+		if inDeg[v] > s.MaxInDegree {
+			s.MaxInDegree = inDeg[v]
+		}
+		if outDeg[v] > s.MaxOutDegree {
+			s.MaxOutDegree = outDeg[v]
+		}
+	}
+	s.InDegreeConnectivity = topShare(inDeg, 0.20) * 100
+	s.OutDegreeConnectivity = topShare(outDeg, 0.20) * 100
+	s.PowerLaw = s.InDegreeConnectivity >= PowerLawThreshold
+	return s
+}
+
+// topShare returns the fraction of total degree held by the top `frac`
+// share of vertices (by descending degree).
+func topShare(deg []int, frac float64) float64 {
+	n := len(deg)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), deg...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	k := int(float64(n) * frac)
+	if k < 1 {
+		k = 1
+	}
+	var top, total int64
+	for i, d := range sorted {
+		total += int64(d)
+		if i < k {
+			top += int64(d)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+// TopKByInDegree returns the IDs of the k highest in-degree vertices in
+// descending order of in-degree (ties broken by lower ID first). This is
+// the paper's "n-th element"-style selection used to pick scratchpad
+// residents; the full ordering is produced by package reorder.
+func TopKByInDegree(g *Graph, k int) []VertexID {
+	n := g.NumVertices()
+	if k > n {
+		k = n
+	}
+	ids := make([]VertexID, n)
+	for v := range ids {
+		ids[v] = VertexID(v)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.InDegree(ids[i]), g.InDegree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids[:k]
+}
+
+// AccessShareToTopK computes, given a per-vertex access count, the fraction
+// of accesses that target the top `frac` of vertices by in-degree. This is
+// Figure 4(b)/Figure 5 of the paper.
+func AccessShareToTopK(g *Graph, accesses []uint64, frac float64) float64 {
+	n := g.NumVertices()
+	if n == 0 || len(accesses) != n {
+		return 0
+	}
+	k := int(float64(n) * frac)
+	if k < 1 {
+		k = 1
+	}
+	top := TopKByInDegree(g, k)
+	inTop := make([]bool, n)
+	for _, v := range top {
+		inTop[v] = true
+	}
+	var hit, total uint64
+	for v, c := range accesses {
+		total += c
+		if inTop[v] {
+			hit += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// CumulativeDegreeShare returns, for fractions 1%..100% (in steps of 1%),
+// the cumulative share of in-edges covered by that fraction of the
+// highest-in-degree vertices. Used for the Figure 19/20 "X % of vertices
+// hold Y % of vtxProp accesses" analysis.
+func CumulativeDegreeShare(g *Graph) []float64 {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.InDegree(VertexID(v))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	var total int64
+	for _, d := range deg {
+		total += int64(d)
+	}
+	out := make([]float64, 100)
+	if total == 0 || n == 0 {
+		return out
+	}
+	var cum int64
+	next := 0
+	for p := 1; p <= 100; p++ {
+		limit := n * p / 100
+		for next < limit {
+			cum += int64(deg[next])
+			next++
+		}
+		out[p-1] = float64(cum) / float64(total)
+	}
+	return out
+}

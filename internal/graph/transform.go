@@ -1,0 +1,120 @@
+package graph
+
+// Transpose returns the graph with every edge reversed. For undirected
+// graphs the transpose is structurally identical and a copy is returned.
+func Transpose(g *Graph) *Graph {
+	b := NewBuilder(g.NumVertices(), g.Undirected)
+	if g.Weighted() {
+		b.SetWeighted()
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		ws := g.OutWeights(VertexID(v))
+		for i, u := range g.OutNeighbors(VertexID(v)) {
+			var w int32 = 1
+			if ws != nil {
+				w = ws[i]
+			}
+			if g.Undirected {
+				if v <= int(u) {
+					b.AddEdge(VertexID(v), u, w)
+				}
+			} else {
+				b.AddEdge(u, VertexID(v), w)
+			}
+		}
+	}
+	return b.Build(g.Name + "-T")
+}
+
+// InducedSubgraph returns the subgraph on the given vertex set, densified
+// to IDs [0, len(keep)). The second return value maps old IDs to new ones
+// (^0 for dropped vertices).
+func InducedSubgraph(g *Graph, keep []VertexID) (*Graph, []VertexID) {
+	const dropped = ^VertexID(0)
+	remap := make([]VertexID, g.NumVertices())
+	for i := range remap {
+		remap[i] = dropped
+	}
+	for i, v := range keep {
+		remap[v] = VertexID(i)
+	}
+	b := NewBuilder(len(keep), g.Undirected)
+	if g.Weighted() {
+		b.SetWeighted()
+	}
+	for _, v := range keep {
+		nv := remap[v]
+		ws := g.OutWeights(v)
+		for i, u := range g.OutNeighbors(v) {
+			nu := remap[u]
+			if nu == dropped {
+				continue
+			}
+			var w int32 = 1
+			if ws != nil {
+				w = ws[i]
+			}
+			if g.Undirected {
+				if nv <= nu {
+					b.AddEdge(nv, nu, w)
+				}
+			} else {
+				b.AddEdge(nv, nu, w)
+			}
+		}
+	}
+	return b.Build(g.Name + "-sub"), remap
+}
+
+// LargestComponent returns the vertex IDs of the largest weakly connected
+// component (edges treated as undirected), in ascending order.
+func LargestComponent(g *Graph) []VertexID {
+	n := g.NumVertices()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	sizes := []int{}
+	stack := make([]VertexID, 0, 1024)
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		size := 0
+		stack = append(stack[:0], VertexID(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for _, u := range g.OutNeighbors(v) {
+				if comp[u] < 0 {
+					comp[u] = next
+					stack = append(stack, u)
+				}
+			}
+			for _, u := range g.InNeighbors(v) {
+				if comp[u] < 0 {
+					comp[u] = next
+					stack = append(stack, u)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+		next++
+	}
+	best := 0
+	for c, sz := range sizes {
+		if sz > sizes[best] {
+			best = c
+		}
+	}
+	var out []VertexID
+	for v := 0; v < n; v++ {
+		if comp[v] == best {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"omega/internal/stats"
+)
+
+func TestTransposeReversesEdges(t *testing.T) {
+	g := FromEdges(4, false, []Edge{
+		{Src: 0, Dst: 1, Weight: 5}, {Src: 1, Dst: 2, Weight: 7}, {Src: 3, Dst: 0, Weight: 9},
+	}, "t")
+	tr := Transpose(g)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if tr.OutDegree(1) != 1 || tr.OutNeighbors(1)[0] != 0 {
+		t.Fatal("edge 0->1 should become 1->0")
+	}
+	if tr.NumEdges() != g.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRand(seed)
+		n := 4 + r.Intn(40)
+		b := NewBuilder(n, false)
+		b.SetWeighted()
+		for i := 0; i < n*3; i++ {
+			b.AddEdge(VertexID(r.Intn(n)), VertexID(r.Intn(n)), int32(1+r.Intn(9)))
+		}
+		b.Dedup()
+		g := b.Build("p")
+		tt := Transpose(Transpose(g))
+		if tt.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			a := g.OutNeighbors(VertexID(v))
+			c := tt.OutNeighbors(VertexID(v))
+			if len(a) != len(c) {
+				return false
+			}
+			for i := range a {
+				if a[i] != c[i] {
+					return false
+				}
+			}
+			wa := g.OutWeights(VertexID(v))
+			wc := tt.OutWeights(VertexID(v))
+			for i := range wa {
+				if wa[i] != wc[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeUndirected(t *testing.T) {
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g := b.Build("u")
+	tr := Transpose(g)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if tr.NumEdges() != g.NumEdges() || !tr.Undirected {
+		t.Fatal("undirected transpose should be a copy")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := FromEdges(5, false, []Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}, {Src: 4, Dst: 0},
+	}, "ring")
+	sub, remap := InducedSubgraph(g, []VertexID{0, 1, 2})
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if sub.NumVertices() != 3 {
+		t.Fatalf("vertices %d", sub.NumVertices())
+	}
+	// Kept edges: 0->1, 1->2. Edges 2->3, 3->4, 4->0 cross the cut.
+	if sub.NumEdges() != 2 {
+		t.Fatalf("edges %d, want 2", sub.NumEdges())
+	}
+	if remap[3] != ^VertexID(0) || remap[2] != 2 {
+		t.Fatalf("remap wrong: %v", remap)
+	}
+}
+
+func TestInducedSubgraphUndirectedAndWeighted(t *testing.T) {
+	b := NewBuilder(4, true)
+	b.SetWeighted()
+	b.AddEdge(0, 1, 11)
+	b.AddEdge(1, 2, 22)
+	b.AddEdge(2, 3, 33)
+	g := b.Build("w")
+	sub, _ := InducedSubgraph(g, []VertexID{1, 2})
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if sub.NumEdges() != 2 { // one undirected edge = 2 arcs
+		t.Fatalf("edges %d", sub.NumEdges())
+	}
+	if sub.OutWeights(0)[0] != 22 {
+		t.Fatal("weight lost in subgraph")
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	// Two components: a 4-ring (0-3) and an edge (4,5).
+	g := FromEdges(6, false, []Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+		{Src: 4, Dst: 5},
+	}, "two")
+	lc := LargestComponent(g)
+	if len(lc) != 4 {
+		t.Fatalf("largest component size %d, want 4", len(lc))
+	}
+	for i, v := range lc {
+		if v != VertexID(i) {
+			t.Fatalf("component members %v", lc)
+		}
+	}
+}
+
+func TestLargestComponentWeakConnectivity(t *testing.T) {
+	// Directionality must not split a weak component: 0->1<-2.
+	g := FromEdges(3, false, []Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}}, "weak")
+	if len(LargestComponent(g)) != 3 {
+		t.Fatal("weak connectivity should join all three")
+	}
+}

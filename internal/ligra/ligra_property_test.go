@@ -1,0 +1,177 @@
+package ligra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"omega/internal/core"
+	"omega/internal/graph"
+	"omega/internal/graph/gen"
+	"omega/internal/pisc"
+	"omega/internal/stats"
+)
+
+// randomGraph builds a small random directed graph.
+func randomGraph(seed uint64) *graph.Graph {
+	r := stats.NewRand(seed)
+	n := 8 + r.Intn(56)
+	b := graph.NewBuilder(n, false)
+	m := n * (1 + r.Intn(6))
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.VertexID(r.Intn(n)), graph.VertexID(r.Intn(n)), 1)
+	}
+	b.Dedup()
+	return b.Build("prop")
+}
+
+// bfsFrontiers runs one BFS expansion in the given mode and returns the
+// resulting frontier IDs plus the final parent assignment.
+func bfsFrontiers(g *graph.Graph, root uint32, mode Mode, densePull bool) ([]uint32, []pisc.Value) {
+	_, cfg := core.ScaledPair(g.NumVertices(), 4, 0.2)
+	fw := New(core.NewMachine(cfg), g)
+	fw.SetDensePull(densePull)
+	parents := fw.NewProp("p", 4, pisc.Value(^uint64(0)))
+	fw.Configure(pisc.StandardMicrocode("p", pisc.OpUnsignedCompareSwap, true, true))
+	parents.Raw()[root] = pisc.Value(uint64(root))
+	frontier := fw.NewVertexSubsetSparse([]uint32{root})
+	for !frontier.IsEmpty() {
+		frontier = fw.EdgeMap(frontier, bfsFns(parents), mode)
+	}
+	return frontier.IDs(), parents.Raw()
+}
+
+// TestTraversalModesAgreeOnReachability: push, dense-forward, and
+// dense-pull traversals must discover exactly the same vertex set from any
+// root on any graph (parents may differ — any in-neighbor is valid).
+func TestTraversalModesAgreeOnReachability(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		root := uint32(seed % uint64(g.NumVertices()))
+		if g.OutDegree(graph.VertexID(root)) == 0 {
+			return true
+		}
+		reached := func(parents []pisc.Value) []bool {
+			out := make([]bool, len(parents))
+			for v, p := range parents {
+				out[v] = uint64(p) != ^uint64(0)
+			}
+			return out
+		}
+		_, pushParents := bfsFrontiers(g, root, Push, false)
+		_, fwdParents := bfsFrontiers(g, root, Pull, false) // dense-forward
+		_, pullParents := bfsFrontiers(g, root, Pull, true) // dense-pull
+		a, b, c := reached(pushParents), reached(fwdParents), reached(pullParents)
+		for v := range a {
+			if a[v] != b[v] || a[v] != c[v] {
+				t.Logf("seed %d: vertex %d reachability disagrees push=%v fwd=%v pull=%v",
+					seed, v, a[v], b[v], c[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVertexSubsetConversionRoundTrip: sparse -> dense -> sparse preserves
+// the member set exactly.
+func TestVertexSubsetConversionRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		_, cfg := core.ScaledPair(g.NumVertices(), 4, 0.2)
+		fw := New(core.NewMachine(cfg), g)
+		fw.Configure(pisc.StandardMicrocode("t", pisc.OpNop, false, false))
+		r := stats.NewRand(seed + 1)
+		var ids []uint32
+		for v := 0; v < g.NumVertices(); v++ {
+			if r.Intn(3) == 0 {
+				ids = append(ids, uint32(v))
+			}
+		}
+		s := fw.NewVertexSubsetSparse(ids)
+		before := s.IDs()
+		fw.toDense(s)
+		fw.toSparse(s)
+		after := s.IDs()
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelOutEdgesCoversEveryEdgeOnce: the granular edge iterator must
+// visit each out-edge of the requested sources exactly once, regardless of
+// degree distribution.
+func TestParallelOutEdgesCoversEveryEdgeOnce(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomGraph(seed)
+		_, cfg := core.ScaledPair(g.NumVertices(), 8, 0.2)
+		fw := New(core.NewMachine(cfg), g)
+		fw.Configure(pisc.StandardMicrocode("t", pisc.OpNop, false, false))
+		r := stats.NewRand(seed + 2)
+		var sources []uint32
+		for v := 0; v < g.NumVertices(); v++ {
+			if r.Intn(2) == 0 {
+				sources = append(sources, uint32(v))
+			}
+		}
+		seen := map[int]int{}
+		fw.ParallelOutEdges(sources, nil,
+			func(ctx *core.Ctx, s uint32, j int, d uint32, w int32) {
+				seen[j]++
+			})
+		want := 0
+		for _, s := range sources {
+			lo := int(g.OutOffsets[s])
+			hi := int(g.OutOffsets[s+1])
+			want += hi - lo
+			for j := lo; j < hi; j++ {
+				if seen[j] != 1 {
+					return false
+				}
+			}
+		}
+		return len(seen) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSimulationDeterminismAcrossMachines: repeated runs of the same
+// workload on freshly built machines give bit-identical cycle counts.
+func TestSimulationDeterminismAcrossMachines(t *testing.T) {
+	run := func() (uint64, uint64) {
+		g := gen.RMAT(gen.DefaultRMAT(9, 33))
+		bcfg, ocfg := core.ScaledPair(g.NumVertices(), 4, 0.2)
+		var out [2]uint64
+		for i, cfg := range []core.Config{bcfg, ocfg} {
+			fw := New(core.NewMachine(cfg), g)
+			parents := fw.NewProp("p", 4, pisc.Value(^uint64(0)))
+			fw.Configure(pisc.StandardMicrocode("p", pisc.OpUnsignedCompareSwap, true, true))
+			parents.Raw()[0] = pisc.Value(0)
+			frontier := fw.NewVertexSubsetSparse([]uint32{0})
+			for !frontier.IsEmpty() {
+				frontier = fw.EdgeMap(frontier, bfsFns(parents), Auto)
+			}
+			out[i] = uint64(fw.Machine().ElapsedCycles())
+		}
+		return out[0], out[1]
+	}
+	b1, o1 := run()
+	b2, o2 := run()
+	if b1 != b2 || o1 != o2 {
+		t.Fatalf("nondeterministic simulation: %d/%d vs %d/%d", b1, o1, b2, o2)
+	}
+}

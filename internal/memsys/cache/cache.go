@@ -1,0 +1,270 @@
+// Package cache models a set-associative, write-back, write-allocate cache
+// with true LRU replacement. Tag state is tracked exactly (every line has a
+// real tag entry), so hit rates reported by the simulator are measured, not
+// estimated.
+package cache
+
+import (
+	"fmt"
+
+	"omega/internal/memsys"
+	"omega/internal/stats"
+)
+
+// Config sizes a cache.
+type Config struct {
+	// SizeBytes is total capacity; must be a multiple of LineSize*Ways.
+	SizeBytes int
+	// Ways is the associativity (1 = direct mapped).
+	Ways int
+	// LatencyCycles is the hit latency.
+	LatencyCycles memsys.Cycles
+	// Name labels the cache in stats ("L1D-3", "L2-0", ...).
+	Name string
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// pinned lines are excluded from replacement (the §IX "locked
+	// cache lines" alternative to scratchpads).
+	pinned bool
+	// lastUse implements LRU via a monotonic use counter.
+	lastUse uint64
+}
+
+// Cache is one cache instance. Not safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	numSets  uint64
+	useClock uint64
+
+	// Stats
+	Reads      stats.Ratio // read hits/total
+	Writes     stats.Ratio // write hits/total
+	Evictions  stats.Counter
+	Writebacks stats.Counter
+}
+
+// New builds a cache. It panics on nonsensical geometry, since
+// configurations are static experiment inputs.
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive", cfg.Name))
+	}
+	setBytes := memsys.LineSize * cfg.Ways
+	if cfg.SizeBytes <= 0 || cfg.SizeBytes%setBytes != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not a multiple of %d",
+			cfg.Name, cfg.SizeBytes, setBytes))
+	}
+	numSets := cfg.SizeBytes / setBytes
+	c := &Cache{
+		cfg:     cfg,
+		numSets: uint64(numSets),
+		sets:    make([][]line, numSets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Latency returns the hit latency.
+func (c *Cache) Latency() memsys.Cycles { return c.cfg.LatencyCycles }
+
+func (c *Cache) locate(a memsys.Addr) (setIdx uint64, tag uint64) {
+	la := uint64(memsys.LineAddr(a)) / memsys.LineSize
+	return la % c.numSets, la / c.numSets
+}
+
+// Lookup probes the cache without modifying replacement or contents, and
+// reports whether addr is present.
+func (c *Cache) Lookup(a memsys.Addr) bool {
+	set, tag := c.locate(a)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// EvictedLine describes a victim produced by a fill.
+type EvictedLine struct {
+	Addr  memsys.Addr
+	Dirty bool
+}
+
+// Access performs a read or write of addr. On a hit, LRU is updated and the
+// line is dirtied for writes. On a miss, the line is *not* filled — callers
+// first consult the next level, then call Fill. The hit result lets the
+// hierarchy charge the correct latency chain.
+func (c *Cache) Access(a memsys.Addr, write bool) (hit bool) {
+	set, tag := c.locate(a)
+	c.useClock++
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.lastUse = c.useClock
+			if write {
+				l.dirty = true
+				c.Writes.Observe(true)
+			} else {
+				c.Reads.Observe(true)
+			}
+			return true
+		}
+	}
+	if write {
+		c.Writes.Observe(false)
+	} else {
+		c.Reads.Observe(false)
+	}
+	return false
+}
+
+// Fill installs the line containing addr, returning the evicted victim if
+// any. If dirty is set the new line is installed dirty (write-allocate
+// stores).
+func (c *Cache) Fill(a memsys.Addr, dirty bool) (victim EvictedLine, evicted bool) {
+	set, tag := c.locate(a)
+	c.useClock++
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			// Already present (e.g. refilled by a racing path): refresh.
+			l.lastUse = c.useClock
+			if dirty {
+				l.dirty = true
+			}
+			return EvictedLine{}, false
+		}
+	}
+	// Prefer an invalid way; otherwise evict the least recently used
+	// non-pinned line. A fully pinned set rejects the fill (the caller
+	// treats the access as uncached).
+	victimIdx := -1
+	for i := range c.sets[set] {
+		if !c.sets[set][i].valid {
+			victimIdx = i
+			break
+		}
+	}
+	if victimIdx == -1 {
+		for i := range c.sets[set] {
+			if c.sets[set][i].pinned {
+				continue
+			}
+			if victimIdx == -1 || c.sets[set][i].lastUse < c.sets[set][victimIdx].lastUse {
+				victimIdx = i
+			}
+		}
+	}
+	if victimIdx == -1 {
+		return EvictedLine{}, false
+	}
+	l := &c.sets[set][victimIdx]
+	if l.valid {
+		c.Evictions.Inc()
+		if l.dirty {
+			c.Writebacks.Inc()
+		}
+		victim = EvictedLine{Addr: c.reconstruct(set, l.tag), Dirty: l.dirty}
+		evicted = true
+	}
+	*l = line{tag: tag, valid: true, dirty: dirty, lastUse: c.useClock}
+	return victim, evicted
+}
+
+// Pin installs the line containing addr (if absent) and excludes it from
+// replacement — the §IX "locked cache lines" technique. It fails (returns
+// false) when pinning would fill the whole set, which must keep at least
+// one replaceable way.
+func (c *Cache) Pin(a memsys.Addr) bool {
+	set, tag := c.locate(a)
+	pinned := 0
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.pinned = true
+			return true
+		}
+		if l.valid && l.pinned {
+			pinned++
+		}
+	}
+	if pinned >= len(c.sets[set])-1 {
+		return false
+	}
+	c.Fill(a, false)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.pinned = true
+			return true
+		}
+	}
+	return false
+}
+
+// PinnedLines counts pinned lines across the cache.
+func (c *Cache) PinnedLines() int {
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			if c.sets[i][j].valid && c.sets[i][j].pinned {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Invalidate drops the line containing addr if present, returning whether
+// it was present and dirty (the caller is responsible for the writeback).
+func (c *Cache) Invalidate(a memsys.Addr) (present, dirty bool) {
+	set, tag := c.locate(a)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			present, dirty = true, l.dirty
+			l.valid = false
+			l.dirty = false
+			return
+		}
+	}
+	return false, false
+}
+
+// reconstruct rebuilds a line-aligned address from set index and tag.
+func (c *Cache) reconstruct(set, tag uint64) memsys.Addr {
+	return memsys.Addr((tag*c.numSets + set) * memsys.LineSize)
+}
+
+// HitRate returns the combined read+write hit rate.
+func (c *Cache) HitRate() float64 {
+	total := c.Reads.Total + c.Writes.Total
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Reads.Hits+c.Writes.Hits) / float64(total)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+	c.useClock = 0
+	c.Reads = stats.Ratio{}
+	c.Writes = stats.Ratio{}
+	c.Evictions.Reset()
+	c.Writebacks.Reset()
+}

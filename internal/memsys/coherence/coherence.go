@@ -1,0 +1,152 @@
+// Package coherence models a MESI-style directory over the private L1
+// caches. It tracks, per cache line, which cores hold copies and whether
+// one of them holds the line modified, so the hierarchy can charge
+// invalidation traffic, cache-to-cache transfers, and the upgrade
+// round-trips that make baseline atomics expensive (paper §III).
+//
+// The model is a "MESI-lite": it captures the message counts and latency
+// events of MESI Two Level (Table III) without simulating transient states.
+package coherence
+
+import (
+	"omega/internal/memsys"
+	"omega/internal/stats"
+)
+
+// entry is the directory state for one line.
+type entry struct {
+	sharers uint64 // bitmask of cores holding the line
+	owner   int8   // core holding Modified, or -1
+}
+
+// Directory tracks L1 copies. Not safe for concurrent use.
+type Directory struct {
+	numCores int
+	lines    map[memsys.Addr]*entry
+
+	// Stats
+	Invalidations stats.Counter // individual invalidation messages sent
+	C2CTransfers  stats.Counter // dirty cache-to-cache interventions
+	Downgrades    stats.Counter // M->S demotions with writeback
+}
+
+// New builds a directory for numCores private caches.
+func New(numCores int) *Directory {
+	if numCores <= 0 || numCores > 64 {
+		panic("coherence: numCores must be in 1..64")
+	}
+	return &Directory{numCores: numCores, lines: make(map[memsys.Addr]*entry)}
+}
+
+// ReadOutcome describes what a read acquisition required.
+type ReadOutcome struct {
+	// DirtyOwner is the core that held the line Modified (now downgraded
+	// to Shared with a writeback), or -1.
+	DirtyOwner int
+}
+
+// AcquireShared records that core is gaining a Shared copy of line.
+func (d *Directory) AcquireShared(line memsys.Addr, core int) ReadOutcome {
+	e := d.get(line)
+	out := ReadOutcome{DirtyOwner: -1}
+	if e.owner >= 0 && int(e.owner) != core {
+		out.DirtyOwner = int(e.owner)
+		d.C2CTransfers.Inc()
+		d.Downgrades.Inc()
+		e.owner = -1
+	}
+	if e.owner == int8(core) {
+		// Already modified locally; keep M (read hit under M).
+		return out
+	}
+	e.sharers |= 1 << uint(core)
+	return out
+}
+
+// WriteOutcome describes what a write/atomic acquisition required.
+type WriteOutcome struct {
+	// Invalidated is the number of other cores whose copies were
+	// invalidated.
+	Invalidated int
+	// DirtyOwner is the core whose Modified copy supplied the data
+	// (cache-to-cache), or -1.
+	DirtyOwner int
+}
+
+// AcquireExclusive records that core is gaining an exclusive (Modified)
+// copy of line, invalidating all other holders.
+func (d *Directory) AcquireExclusive(line memsys.Addr, core int) WriteOutcome {
+	e := d.get(line)
+	out := WriteOutcome{DirtyOwner: -1}
+	if e.owner >= 0 && int(e.owner) != core {
+		out.DirtyOwner = int(e.owner)
+		d.C2CTransfers.Inc()
+	}
+	mask := e.sharers &^ (1 << uint(core))
+	for c := 0; c < d.numCores; c++ {
+		if mask&(1<<uint(c)) != 0 {
+			out.Invalidated++
+		}
+	}
+	d.Invalidations.Add(uint64(out.Invalidated))
+	e.sharers = 1 << uint(core)
+	e.owner = int8(core)
+	return out
+}
+
+// Drop records that core evicted its copy of line (silent for clean
+// Shared; the caller handles any writeback traffic for Modified).
+// It reports whether the dropped copy was the Modified one.
+func (d *Directory) Drop(line memsys.Addr, core int) (wasModified bool) {
+	e, ok := d.lines[line]
+	if !ok {
+		return false
+	}
+	if e.owner == int8(core) {
+		e.owner = -1
+		wasModified = true
+	}
+	e.sharers &^= 1 << uint(core)
+	if e.sharers == 0 && e.owner < 0 {
+		delete(d.lines, line)
+	}
+	return wasModified
+}
+
+// Holders returns how many cores currently hold line.
+func (d *Directory) Holders(line memsys.Addr) int {
+	e, ok := d.lines[line]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for c := 0; c < d.numCores; c++ {
+		if e.sharers&(1<<uint(c)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// IsModifiedBy reports whether core holds line in Modified state.
+func (d *Directory) IsModifiedBy(line memsys.Addr, core int) bool {
+	e, ok := d.lines[line]
+	return ok && e.owner == int8(core)
+}
+
+// Reset clears all directory state and statistics.
+func (d *Directory) Reset() {
+	d.lines = make(map[memsys.Addr]*entry)
+	d.Invalidations.Reset()
+	d.C2CTransfers.Reset()
+	d.Downgrades.Reset()
+}
+
+func (d *Directory) get(line memsys.Addr) *entry {
+	e, ok := d.lines[line]
+	if !ok {
+		e = &entry{owner: -1}
+		d.lines[line] = e
+	}
+	return e
+}

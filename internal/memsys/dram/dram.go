@@ -1,0 +1,169 @@
+// Package dram models the off-chip memory of the testbed: 4 DDR3-1600
+// channels at 12 GB/s each (Table III), with per-bank open rows so the
+// open-page / row-buffer behaviour the paper discusses in §IX is visible in
+// the latency distribution, and a busy-until service model that produces
+// bandwidth-limited queueing under load.
+package dram
+
+import (
+	"fmt"
+
+	"omega/internal/memsys"
+	"omega/internal/stats"
+)
+
+// Config sizes the DRAM subsystem. Defaults (via DefaultConfig) match the
+// paper's testbed at a 2 GHz core clock.
+type Config struct {
+	Channels     int
+	BanksPerChan int
+	// RowBytes is the row-buffer (page) size per bank.
+	RowBytes int
+	// RowHitCycles / RowMissCycles are access latencies for open-row hits
+	// and row conflicts (precharge+activate+access).
+	RowHitCycles  memsys.Cycles
+	RowMissCycles memsys.Cycles
+	// ServiceCyclesPerLine is the channel occupancy transferring one 64 B
+	// line: at 12 GB/s and 2 GHz, 64 B take 64/12e9*2e9 ≈ 10.7 cycles.
+	ServiceCyclesPerLine memsys.Cycles
+	// ClosePage, when set, closes the row after every access (the paper's
+	// §IX hybrid-policy discussion for low-locality vertex data).
+	ClosePage bool
+	// Hybrid enables the §IX per-access policy: accesses flagged as
+	// low-locality (random vertex data) close their row, everything else
+	// (edge streams) keeps rows open.
+	Hybrid bool
+	// MaxQueue bounds the modeled per-channel queue depth: an access
+	// never waits more than MaxQueue service slots (a real controller
+	// back-pressures instead of queueing unboundedly, and the bound also
+	// keeps the busy-until approximation stable under core clock skew).
+	MaxQueue int
+}
+
+// DefaultConfig returns the Table III DRAM configuration.
+func DefaultConfig() Config {
+	return Config{
+		Channels:             4,
+		BanksPerChan:         8,
+		RowBytes:             2048,
+		RowHitCycles:         80,
+		RowMissCycles:        140,
+		ServiceCyclesPerLine: 11,
+		MaxQueue:             32,
+	}
+}
+
+// DRAM is the off-chip memory model. Not safe for concurrent use.
+type DRAM struct {
+	cfg Config
+	// queues model per-channel bandwidth contention.
+	queues []memsys.Queue
+	// openRow per (channel, bank); ^0 means closed.
+	openRow [][]uint64
+
+	// Stats
+	Accesses   stats.Counter
+	RowHits    stats.Ratio
+	BytesMoved stats.Counter
+	// QueueDelay accumulates cycles spent waiting for a busy channel.
+	QueueDelay stats.Counter
+	// lastBusy tracks the furthest completion time, for utilization.
+	lastBusy memsys.Cycles
+}
+
+// New builds the DRAM model.
+func New(cfg Config) *DRAM {
+	if cfg.Channels <= 0 || cfg.BanksPerChan <= 0 || cfg.RowBytes <= 0 {
+		panic(fmt.Sprintf("dram: bad config %+v", cfg))
+	}
+	d := &DRAM{
+		cfg:     cfg,
+		queues:  make([]memsys.Queue, cfg.Channels),
+		openRow: make([][]uint64, cfg.Channels),
+	}
+	for i := range d.openRow {
+		d.openRow[i] = make([]uint64, cfg.BanksPerChan)
+		for j := range d.openRow[i] {
+			d.openRow[i][j] = ^uint64(0)
+		}
+	}
+	return d
+}
+
+// Config returns the configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Access simulates one line-sized access beginning at time now and returns
+// its latency (queueing + device access).
+func (d *DRAM) Access(now memsys.Cycles, addr memsys.Addr) memsys.Cycles {
+	return d.AccessHint(now, addr, false)
+}
+
+// AccessHint is Access with a locality hint: under the Hybrid policy,
+// low-locality accesses close their row after use (§IX).
+func (d *DRAM) AccessHint(now memsys.Cycles, addr memsys.Addr, lowLocality bool) memsys.Cycles {
+	la := uint64(memsys.LineAddr(addr))
+	chIdx := (la / memsys.LineSize) % uint64(d.cfg.Channels)
+	bankIdx := (la / uint64(d.cfg.RowBytes)) % uint64(d.cfg.BanksPerChan)
+	row := la / uint64(d.cfg.RowBytes) / uint64(d.cfg.BanksPerChan)
+
+	wait := d.queues[chIdx].Enqueue(now, d.cfg.ServiceCyclesPerLine)
+	if cap := memsys.Cycles(d.cfg.MaxQueue) * d.cfg.ServiceCyclesPerLine; d.cfg.MaxQueue > 0 && wait > cap {
+		wait = cap
+	}
+	d.QueueDelay.Add(uint64(wait))
+	start := now + wait
+	var dev memsys.Cycles
+	if d.openRow[chIdx][bankIdx] == row {
+		dev = d.cfg.RowHitCycles
+		d.RowHits.Observe(true)
+	} else {
+		dev = d.cfg.RowMissCycles
+		d.RowHits.Observe(false)
+	}
+	if d.cfg.ClosePage || (d.cfg.Hybrid && lowLocality) {
+		d.openRow[chIdx][bankIdx] = ^uint64(0)
+	} else {
+		d.openRow[chIdx][bankIdx] = row
+	}
+	done := start + dev
+	if done > d.lastBusy {
+		d.lastBusy = done
+	}
+	d.Accesses.Inc()
+	d.BytesMoved.Add(memsys.LineSize)
+	return done - now
+}
+
+// PeakBytesPerCycle returns the aggregate channel bandwidth in bytes per
+// core cycle.
+func (d *DRAM) PeakBytesPerCycle() float64 {
+	return float64(d.cfg.Channels) * memsys.LineSize / float64(d.cfg.ServiceCyclesPerLine)
+}
+
+// Utilization returns achieved bandwidth as a fraction of peak over an
+// execution of elapsed cycles.
+func (d *DRAM) Utilization(elapsed memsys.Cycles) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	achieved := float64(d.BytesMoved.Value()) / float64(elapsed)
+	return achieved / d.PeakBytesPerCycle()
+}
+
+// Reset clears device state and statistics.
+func (d *DRAM) Reset() {
+	for i := range d.queues {
+		d.queues[i].Reset()
+	}
+	for i := range d.openRow {
+		for j := range d.openRow[i] {
+			d.openRow[i][j] = ^uint64(0)
+		}
+	}
+	d.Accesses.Reset()
+	d.RowHits = stats.Ratio{}
+	d.BytesMoved.Reset()
+	d.QueueDelay.Reset()
+	d.lastBusy = 0
+}

@@ -1,0 +1,133 @@
+// Package memsys defines the vocabulary shared by every component of the
+// simulated memory hierarchy: simulated addresses, cycle time, access
+// descriptors, and the data-structure classification (vtxProp / edgeList /
+// nGraphData / active-list) that drives OMEGA's heterogeneous routing.
+package memsys
+
+import "fmt"
+
+// Cycles counts simulated processor clock cycles (2 GHz in the paper's
+// testbed, Table III).
+type Cycles uint64
+
+// Addr is a simulated byte address. The simulated address space is flat;
+// the allocator in package core hands out disjoint regions per data
+// structure.
+type Addr uint64
+
+// LineSize is the cache-line size in bytes (Table III).
+const LineSize = 64
+
+// LineAddr returns the line-aligned address containing a.
+func LineAddr(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// Kind classifies the graph data structure behind an access (paper §II,
+// "Graph data structures").
+type Kind uint8
+
+const (
+	// KindVtxProp is vertex-property data: randomly accessed, the target
+	// of OMEGA's scratchpads.
+	KindVtxProp Kind = iota
+	// KindEdgeList is CSR adjacency data: overwhelmingly sequential.
+	KindEdgeList
+	// KindNGraphData is everything else (loop counters, frontier arrays,
+	// temporaries): small, mostly sequential.
+	KindNGraphData
+	// KindActiveList is the frontier bookkeeping (dense bit vector or
+	// sparse ID list).
+	KindActiveList
+)
+
+// String names the kind for stats output.
+func (k Kind) String() string {
+	switch k {
+	case KindVtxProp:
+		return "vtxProp"
+	case KindEdgeList:
+		return "edgeList"
+	case KindNGraphData:
+		return "nGraphData"
+	case KindActiveList:
+		return "activeList"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Op is the operation an access performs.
+type Op uint8
+
+const (
+	// OpRead is a plain load.
+	OpRead Op = iota
+	// OpWrite is a plain store.
+	OpWrite
+	// OpAtomic is an atomic read-modify-write (CAS / fetch-add / min...).
+	OpAtomic
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAtomic:
+		return "atomic"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Access describes one logical memory access emitted by the framework.
+type Access struct {
+	// Core is the issuing core ID in [0, NumCores).
+	Core int
+	// Addr is the simulated byte address.
+	Addr Addr
+	// Size is the access size in bytes (1..8 for word accesses).
+	Size uint8
+	// Op is read/write/atomic.
+	Op Op
+	// Kind is the data-structure classification.
+	Kind Kind
+	// Vertex is the vertex ID for vtxProp/active-list accesses (used by
+	// the scratchpad partition unit); ignored otherwise.
+	Vertex uint32
+	// SrcRead marks a read of a *source* vertex's property during edge
+	// processing — the access class served by OMEGA's source vertex
+	// buffer (paper §V.C).
+	SrcRead bool
+	// Dependent marks a load whose value gates further progress of the
+	// core (the core must stall for it rather than merely tracking an
+	// outstanding miss).
+	Dependent bool
+}
+
+// Result reports the outcome of simulating one access.
+type Result struct {
+	// Latency is the time from issue to completion.
+	Latency Cycles
+	// Blocking forces the issuing core to stall for the full latency
+	// (atomics on the baseline; dependent reads anywhere).
+	Blocking bool
+	// Offloaded reports that the operation was handed to a PISC engine
+	// and the core does not wait for completion.
+	Offloaded bool
+	// LevelName names the component that satisfied the access
+	// ("L1", "L2", "DRAM", "SP-local", "SP-remote", "SrcBuf", "PISC").
+	LevelName string
+}
+
+// Hierarchy is a memory subsystem that can satisfy accesses. Both the
+// baseline CMP hierarchy and the OMEGA heterogeneous hierarchy implement
+// it. Implementations are not safe for concurrent use; the simulation
+// driver serializes calls (it is itself single-threaded event scheduling).
+type Hierarchy interface {
+	// Access simulates one access issued at time now and returns its
+	// timing outcome.
+	Access(now Cycles, a Access) Result
+	// BeginIteration signals an algorithm-level iteration boundary
+	// (OMEGA invalidates source-vertex buffers here, paper §V.C).
+	BeginIteration()
+}

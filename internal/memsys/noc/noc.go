@@ -1,0 +1,152 @@
+// Package noc models the on-chip crossbar interconnect of the testbed
+// (Table III: crossbar, 128-bit bus width). It tracks message latency
+// (base traversal + serialization + output-port queueing) and — centrally
+// for the paper's Figure 17 — the total on-chip traffic volume in bytes,
+// distinguishing cache-line-sized transfers from OMEGA's word-sized
+// scratchpad packets (§V.E).
+package noc
+
+import (
+	"fmt"
+
+	"omega/internal/memsys"
+	"omega/internal/stats"
+)
+
+// Config sizes the crossbar.
+type Config struct {
+	// Ports is the number of endpoints (cores/L2 banks pairs).
+	Ports int
+	// BaseLatency is the unloaded one-way traversal latency; the paper
+	// measures an average of 17 cycles for remote scratchpad access,
+	// which includes request+response, so one way defaults to 8 with a
+	// 1-cycle router overhead folded in.
+	BaseLatency memsys.Cycles
+	// BusBytes is the link width per cycle (128 bits = 16 B).
+	BusBytes int
+	// CtrlBytes is the size of an address/command header attached to
+	// line-sized and control messages. Word-class messages (OMEGA's
+	// scratchpad packets) are self-contained 64-bit packets (§V.E) and
+	// carry no extra header.
+	CtrlBytes int
+	// MaxQueueCycles bounds modeled output-port queueing per message.
+	MaxQueueCycles memsys.Cycles
+}
+
+// DefaultConfig returns the Table III crossbar.
+func DefaultConfig(ports int) Config {
+	return Config{Ports: ports, BaseLatency: 8, BusBytes: 16, CtrlBytes: 8, MaxQueueCycles: 64}
+}
+
+// MsgClass labels traffic for the Figure 17 breakdown.
+type MsgClass uint8
+
+const (
+	// ClassLine is a cache-line data transfer (fill, writeback, c2c).
+	ClassLine MsgClass = iota
+	// ClassWord is an OMEGA word-granularity scratchpad packet.
+	ClassWord
+	// ClassCtrl is a control-only message (request, invalidation, ack).
+	ClassCtrl
+	numClasses
+)
+
+// String names the class.
+func (c MsgClass) String() string {
+	switch c {
+	case ClassLine:
+		return "line"
+	case ClassWord:
+		return "word"
+	case ClassCtrl:
+		return "ctrl"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Crossbar is the interconnect model. Not safe for concurrent use.
+type Crossbar struct {
+	cfg       Config
+	ports     []memsys.Queue
+	bytesBy   [numClasses]stats.Counter
+	msgsBy    [numClasses]stats.Counter
+	QueueWait stats.Counter
+}
+
+// New builds the crossbar.
+func New(cfg Config) *Crossbar {
+	if cfg.Ports <= 0 || cfg.BusBytes <= 0 {
+		panic(fmt.Sprintf("noc: bad config %+v", cfg))
+	}
+	return &Crossbar{cfg: cfg, ports: make([]memsys.Queue, cfg.Ports)}
+}
+
+// Config returns the configuration.
+func (x *Crossbar) Config() Config { return x.cfg }
+
+// Send simulates one message of payloadBytes from src to dst starting at
+// now, returning its delivery latency. A control header of CtrlBytes is
+// charged on top of the payload. src == dst models a local hop and is
+// free of traversal latency but still counts traffic when count is set.
+func (x *Crossbar) Send(now memsys.Cycles, src, dst int, payloadBytes int, class MsgClass) memsys.Cycles {
+	if src < 0 || src >= x.cfg.Ports || dst < 0 || dst >= x.cfg.Ports {
+		panic(fmt.Sprintf("noc: port out of range src=%d dst=%d", src, dst))
+	}
+	total := payloadBytes + x.cfg.CtrlBytes
+	if class == ClassWord {
+		// OMEGA word packets are self-contained (≤64-bit, §V.E): the
+		// payload already includes command/vertex bits.
+		total = payloadBytes
+		if total <= 0 {
+			total = 8
+		}
+	}
+	x.bytesBy[class].Add(uint64(total))
+	x.msgsBy[class].Inc()
+	if src == dst {
+		return 1
+	}
+	// Serialization: flits of BusBytes per cycle, at least 1.
+	flits := memsys.Cycles((total + x.cfg.BusBytes - 1) / x.cfg.BusBytes)
+	wait := x.ports[dst].Enqueue(now, flits)
+	if x.cfg.MaxQueueCycles > 0 && wait > x.cfg.MaxQueueCycles {
+		wait = x.cfg.MaxQueueCycles
+	}
+	x.QueueWait.Add(uint64(wait))
+	return wait + x.cfg.BaseLatency + flits
+}
+
+// RoundTrip simulates a request to dst followed by a response carrying
+// respBytes back to src; returns total latency.
+func (x *Crossbar) RoundTrip(now memsys.Cycles, src, dst int, reqBytes, respBytes int, class MsgClass) memsys.Cycles {
+	l1 := x.Send(now, src, dst, reqBytes, ClassCtrl)
+	l2 := x.Send(now+l1, dst, src, respBytes, class)
+	return l1 + l2
+}
+
+// TotalBytes returns all on-chip traffic in bytes.
+func (x *Crossbar) TotalBytes() uint64 {
+	var t uint64
+	for i := range x.bytesBy {
+		t += x.bytesBy[i].Value()
+	}
+	return t
+}
+
+// BytesByClass returns traffic for one class.
+func (x *Crossbar) BytesByClass(c MsgClass) uint64 { return x.bytesBy[c].Value() }
+
+// MessagesByClass returns the message count for one class.
+func (x *Crossbar) MessagesByClass(c MsgClass) uint64 { return x.msgsBy[c].Value() }
+
+// Reset clears busy state and statistics.
+func (x *Crossbar) Reset() {
+	for i := range x.ports {
+		x.ports[i].Reset()
+	}
+	for i := range x.bytesBy {
+		x.bytesBy[i].Reset()
+		x.msgsBy[i].Reset()
+	}
+	x.QueueWait.Reset()
+}

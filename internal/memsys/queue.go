@@ -1,0 +1,72 @@
+package memsys
+
+// Queue models contention for a serial resource (DRAM channel, crossbar
+// output port, PISC sequencer) with a utilization-based delay model: the
+// resource tracks its demanded service time over a sliding window of
+// simulated time and charges each request an M/D/1-style queueing delay
+//
+//	wait = service * u / (2 * (1 - u))
+//
+// where u is the smoothed utilization. This form is robust to the bounded
+// clock skew between simulated cores (an absolute busy-until model charges
+// the skew itself as queueing), degrades smoothly from idle to saturated,
+// and enforces an effective bandwidth limit: near saturation each request
+// pays ~50 service times, throttling the requesters.
+type Queue struct {
+	horizon     Cycles  // furthest simulated time observed
+	windowStart Cycles  // start of the current measurement window
+	work        Cycles  // service time demanded in the current window
+	util        float64 // smoothed utilization estimate in [0, maxUtil]
+}
+
+const (
+	// queueWindow is the utilization measurement window in cycles.
+	queueWindow = 2048
+	// maxUtil caps the utilization estimate; at the cap each request
+	// waits ~50 service times.
+	maxUtil = 0.99
+)
+
+// Enqueue records a request arriving at time now needing service cycles of
+// the resource, and returns its queueing delay before service begins.
+func (q *Queue) Enqueue(now, service Cycles) (wait Cycles) {
+	if now > q.horizon {
+		q.horizon = now
+	}
+	q.work += service
+	if q.horizon-q.windowStart >= queueWindow {
+		span := float64(q.horizon - q.windowStart)
+		u := float64(q.work) / span
+		if u > 1 {
+			u = 1
+		}
+		q.util = 0.5*q.util + 0.5*u
+		if q.util > maxUtil {
+			q.util = maxUtil
+		}
+		q.windowStart = q.horizon
+		q.work = 0
+	}
+	u := q.util
+	// Fold in the current (incomplete) window once it has enough span to
+	// be meaningful, so saturation within a window is felt immediately.
+	if span := float64(q.horizon - q.windowStart); span >= queueWindow/4 {
+		cur := float64(q.work) / span
+		if cur > 1 {
+			cur = 1
+		}
+		if cur > u {
+			u = cur
+		}
+	}
+	if u > maxUtil {
+		u = maxUtil
+	}
+	return Cycles(float64(service) * u / (2 * (1 - u)))
+}
+
+// Utilization returns the smoothed utilization estimate.
+func (q *Queue) Utilization() float64 { return q.util }
+
+// Reset clears the queue state.
+func (q *Queue) Reset() { *q = Queue{} }

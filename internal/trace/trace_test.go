@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"omega/internal/algorithms"
+	"omega/internal/core"
+	"omega/internal/graph/gen"
+	"omega/internal/graph/reorder"
+	"omega/internal/ligra"
+	"omega/internal/memsys"
+)
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector(2)
+	a := memsys.Access{Core: 1, Kind: memsys.KindVtxProp, Op: memsys.OpAtomic}
+	r := memsys.Result{Latency: 100, LevelName: "L2+", Blocking: true}
+	for i := 0; i < 5; i++ {
+		c.Record(memsys.Cycles(i), a, r)
+	}
+	if len(c.Events()) != 2 {
+		t.Fatalf("retained %d events, cap 2", len(c.Events()))
+	}
+	rows := c.Summary()
+	if len(rows) != 1 || rows[0].Count != 5 || rows[0].AvgLatency != 100 {
+		t.Fatalf("summary %+v", rows)
+	}
+	if q := c.LatencyQuantile(memsys.KindVtxProp, 0.5); q < 64 || q > 128 {
+		t.Fatalf("median bucket %d", q)
+	}
+	if c.LatencyQuantile(memsys.KindEdgeList, 0.5) != 0 {
+		t.Fatal("unseen kind should report 0")
+	}
+}
+
+func TestCollectorRendering(t *testing.T) {
+	c := NewCollector(10)
+	c.Record(1, memsys.Access{Kind: memsys.KindEdgeList, Op: memsys.OpRead},
+		memsys.Result{Latency: 1, LevelName: "L1"})
+	var sum, tsv strings.Builder
+	if err := c.WriteSummary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum.String(), "edgeList") || !strings.Contains(sum.String(), "L1") {
+		t.Fatalf("summary:\n%s", sum.String())
+	}
+	if err := c.WriteTSV(&tsv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tsv.String(), "edgeList\tread\tL1\t1") {
+		t.Fatalf("tsv:\n%s", tsv.String())
+	}
+}
+
+func TestTracedSimulation(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 7))
+	g = reorder.Apply(g, reorder.Compute(g, reorder.InDegree))
+	spec, _ := algorithms.ByName("PageRank")
+	_, omCfg := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, 0.2)
+	m := core.NewMachine(omCfg)
+	col := NewCollector(1000)
+	m.SetTracer(col)
+	st := spec.Run(ligra.New(m, g))
+
+	// The trace must account for exactly the accesses the machine counted.
+	var total uint64
+	for _, r := range col.Summary() {
+		total += r.Count
+	}
+	if total != st.TotalAccesses() {
+		t.Fatalf("trace saw %d accesses, machine counted %d", total, st.TotalAccesses())
+	}
+	// PageRank on OMEGA must show PISC-served vtxProp atomics.
+	foundPISC := false
+	for _, r := range col.Summary() {
+		if r.Kind == memsys.KindVtxProp && r.Level == "PISC" {
+			foundPISC = true
+		}
+	}
+	if !foundPISC {
+		t.Fatal("no PISC-served accesses in the trace")
+	}
+	if len(col.Events()) != 1000 {
+		t.Fatalf("event cap not honored: %d", len(col.Events()))
+	}
+}
+
+func TestTracerDisabledByDefault(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 7))
+	spec, _ := algorithms.ByName("PageRank")
+	_, omCfg := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, 0.2)
+	m := core.NewMachine(omCfg)
+	// No SetTracer: must simply run.
+	spec.Run(ligra.New(m, g))
+}

@@ -1,0 +1,36 @@
+package translate
+
+import "testing"
+
+// FuzzTranslate: arbitrary annotated source must either translate or
+// return an error — never panic — and a successful translation always
+// carries a destination property and non-empty generated code.
+func FuzzTranslate(f *testing.F) {
+	f.Add(ssspSrc)
+	f.Add("//@omega update\nvoid f(int s, int d) { A[d] += B[s]; }")
+	f.Add("//@omega update\nvoid f() {}")
+	f.Add("")
+	f.Add("//@omega update\nvoid f(int s, int d) { if (P[d] == U) P[d] = s; }")
+	props := []PropDecl{
+		{Name: "A", TypeSize: 8},
+		{Name: "B", TypeSize: 4},
+		{Name: "P", TypeSize: 4},
+		{Name: "ShortestLen", TypeSize: 4},
+		{Name: "Visited", TypeSize: 4},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Translate(src, props, true, true)
+		if err != nil {
+			return
+		}
+		if tr.DstProp == "" {
+			t.Fatal("translation without a destination property")
+		}
+		if len(tr.ConfigCode) == 0 || len(tr.UpdateCode) == 0 {
+			t.Fatal("translation produced no code")
+		}
+		if tr.Render() == "" {
+			t.Fatal("empty render")
+		}
+	})
+}

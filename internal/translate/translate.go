@@ -1,0 +1,227 @@
+// Package translate is the lightweight source-to-source translation tool
+// of paper §V.F: it parses a pre-annotated "update" function (the mini-DSL
+// of Figure 10) and generates (a) the PISC microcode store sequence and
+// (b) the OMEGA configuration code (monitor registers, optype) that the
+// framework executes at application start — the Figure 13 output.
+//
+// The accepted input is a small C-like annotated function:
+//
+//	//@omega update
+//	void update(int s, int d, int edgeLen) {
+//	    newShortestLen = ShortestLen[s] + edgeLen;
+//	    ShortestLen[d] = min(ShortestLen[d], newShortestLen);
+//	    Visited[d] = 1;
+//	}
+//
+// The translator recognizes the per-destination update statement
+// (`Prop[d] = op(Prop[d], expr)` or `Prop[d] += expr` / `|= expr`),
+// classifies the atomic operation, and emits the stores.
+package translate
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"omega/internal/pisc"
+)
+
+// PropDecl describes one vtxProp referenced by the update function.
+type PropDecl struct {
+	Name     string
+	TypeSize int // bytes; inferred from the declared type
+}
+
+// Translation is the tool's output for one update function.
+type Translation struct {
+	// FuncName is the annotated function's name.
+	FuncName string
+	// Op is the classified atomic operation.
+	Op pisc.Op
+	// DstProp is the vtxProp updated atomically (the offload target).
+	DstProp string
+	// SrcProps are vtxProps read on the source side (buffer-eligible).
+	SrcProps []string
+	// Microcode is the generated routine.
+	Microcode pisc.Microcode
+	// ConfigCode is the generated configuration store sequence
+	// (Figure 13 style, one store per line).
+	ConfigCode []string
+	// UpdateCode is the translated per-edge code: stores to the
+	// memory-mapped offload registers.
+	UpdateCode []string
+}
+
+var (
+	annotationRe = regexp.MustCompile(`(?m)^\s*//@omega\s+update\s*$`)
+	funcRe       = regexp.MustCompile(`(?ms)^\s*\w[\w\s\*]*\s+(\w+)\s*\(([^)]*)\)\s*\{(.*?)^\s*\}`)
+	// Prop[d] = min(Prop[d], expr) / max / or-style calls.
+	callUpdateRe = regexp.MustCompile(`(\w+)\s*\[\s*d\s*\]\s*=\s*(\w+)\s*\(\s*(\w+)\s*\[\s*d\s*\]\s*,\s*(.+?)\s*\)\s*;`)
+	// Prop[d] += expr; Prop[d] |= expr.
+	opAssignRe = regexp.MustCompile(`(\w+)\s*\[\s*d\s*\]\s*(\+|\|)=\s*(.+?)\s*;`)
+	// Prop[s] reads.
+	srcReadRe = regexp.MustCompile(`(\w+)\s*\[\s*s\s*\]`)
+	// CAS-style: if (Prop[d] == UNSET) Prop[d] = expr;
+	casRe = regexp.MustCompile(`if\s*\(\s*(\w+)\s*\[\s*d\s*\]\s*==\s*(\w+)\s*\)\s*(\w+)\s*\[\s*d\s*\]\s*=\s*(.+?)\s*;`)
+)
+
+// Error is a translation failure with position context.
+type Error struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return "translate: " + e.Msg }
+
+// Translate parses annotated source and translates the first annotated
+// update function.
+func Translate(src string, props []PropDecl, trackDense, trackSparse bool) (*Translation, error) {
+	loc := annotationRe.FindStringIndex(src)
+	if loc == nil {
+		return nil, &Error{"no //@omega update annotation found"}
+	}
+	rest := src[loc[1]:]
+	fm := funcRe.FindStringSubmatch(rest)
+	if fm == nil {
+		return nil, &Error{"no function definition after annotation"}
+	}
+	name, body := fm[1], fm[3]
+
+	t := &Translation{FuncName: name}
+	propSize := map[string]int{}
+	for _, p := range props {
+		propSize[p.Name] = p.TypeSize
+	}
+	isProp := func(id string) bool { _, ok := propSize[id]; return ok }
+
+	// Classify the destination update.
+	switch {
+	case callUpdateRe.MatchString(body):
+		m := callUpdateRe.FindStringSubmatch(body)
+		if m[1] != m[3] {
+			return nil, &Error{fmt.Sprintf("update writes %s but reads %s", m[1], m[3])}
+		}
+		if !isProp(m[1]) {
+			return nil, &Error{fmt.Sprintf("%s is not a declared vtxProp", m[1])}
+		}
+		t.DstProp = m[1]
+		switch m[2] {
+		case "min":
+			t.Op = pisc.OpSignedMin
+		case "or":
+			t.Op = pisc.OpOr
+		default:
+			return nil, &Error{fmt.Sprintf("unsupported combiner %q", m[2])}
+		}
+	case opAssignRe.MatchString(body):
+		m := opAssignRe.FindStringSubmatch(body)
+		if !isProp(m[1]) {
+			return nil, &Error{fmt.Sprintf("%s is not a declared vtxProp", m[1])}
+		}
+		t.DstProp = m[1]
+		switch m[2] {
+		case "+":
+			// Float props use the FP adder; 8-byte props are doubles in
+			// the workloads we support.
+			if propSize[m[1]] == 8 {
+				t.Op = pisc.OpFPAdd
+			} else {
+				t.Op = pisc.OpSignedAdd
+			}
+		case "|":
+			t.Op = pisc.OpOr
+		}
+	case casRe.MatchString(body):
+		m := casRe.FindStringSubmatch(body)
+		if m[1] != m[3] {
+			return nil, &Error{fmt.Sprintf("CAS checks %s but writes %s", m[1], m[3])}
+		}
+		if !isProp(m[1]) {
+			return nil, &Error{fmt.Sprintf("%s is not a declared vtxProp", m[1])}
+		}
+		t.DstProp = m[1]
+		t.Op = pisc.OpUnsignedCompareSwap
+	default:
+		return nil, &Error{"no recognizable atomic update of a vtxProp[d] found"}
+	}
+
+	// Collect source-side reads.
+	seen := map[string]bool{}
+	for _, m := range srcReadRe.FindAllStringSubmatch(body, -1) {
+		if isProp(m[1]) && !seen[m[1]] {
+			seen[m[1]] = true
+			t.SrcProps = append(t.SrcProps, m[1])
+		}
+	}
+	sort.Strings(t.SrcProps)
+
+	t.Microcode = pisc.StandardMicrocode(name, t.Op, trackDense, trackSparse)
+	t.ConfigCode = configCode(t, props)
+	t.UpdateCode = updateCode(t)
+	return t, nil
+}
+
+// configCode emits the startup store sequence: microcode registers, the
+// optype, and one monitor-register triple per vtxProp (§V.F).
+func configCode(t *Translation, props []PropDecl) []string {
+	var out []string
+	out = append(out, fmt.Sprintf("store OMEGA_OPTYPE, %s", t.Op))
+	for i, step := range t.Microcode.Steps {
+		out = append(out, fmt.Sprintf("store OMEGA_MICROCODE[%d], %s", i, microOpName(step)))
+	}
+	for i, p := range props {
+		out = append(out,
+			fmt.Sprintf("store OMEGA_MON[%d].start_addr, &%s[0]", i, p.Name),
+			fmt.Sprintf("store OMEGA_MON[%d].type_size, %d", i, p.TypeSize),
+			fmt.Sprintf("store OMEGA_MON[%d].stride, %d", i, p.TypeSize),
+		)
+	}
+	return out
+}
+
+// updateCode emits the translated per-edge body (Figure 13): the computed
+// operand goes to memory-mapped register 1, the destination vertex ID to
+// register 2, which triggers the offload.
+func updateCode(t *Translation) []string {
+	operand := "operand"
+	if len(t.SrcProps) > 0 {
+		operand = fmt.Sprintf("compute(%s[s], edge)", strings.Join(t.SrcProps, "[s], "))
+	}
+	return []string{
+		fmt.Sprintf("store OMEGA_MMREG1, %s", operand),
+		"store OMEGA_MMREG2, d  // triggers offload to home PISC",
+	}
+}
+
+func microOpName(u pisc.MicroOp) string {
+	switch u {
+	case pisc.UReadSP:
+		return "READ_SP"
+	case pisc.UALU:
+		return "ALU"
+	case pisc.UWriteSP:
+		return "WRITE_SP"
+	case pisc.USetActiveDense:
+		return "SET_ACTIVE_DENSE"
+	case pisc.UAppendActiveSparse:
+		return "APPEND_ACTIVE_SPARSE"
+	}
+	return fmt.Sprintf("UOP(%d)", uint8(u))
+}
+
+// Render prints the whole translation in the Figure 13 style.
+func (t *Translation) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// translated from %s: op=%s dst=%s src=%v\n",
+		t.FuncName, t.Op, t.DstProp, t.SrcProps)
+	b.WriteString("// --- configuration (run at application start) ---\n")
+	for _, l := range t.ConfigCode {
+		b.WriteString(l + "\n")
+	}
+	b.WriteString("// --- per-edge update (replaces the annotated body) ---\n")
+	for _, l := range t.UpdateCode {
+		b.WriteString(l + "\n")
+	}
+	return b.String()
+}
