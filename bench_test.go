@@ -183,6 +183,12 @@ func BenchmarkExtensionTraversalDirection(b *testing.B) {
 	runExperimentBench(b, experiments.ExtensionTraversalDirection, "")
 }
 
+// --- Resilience ---
+
+func BenchmarkResilienceInjection(b *testing.B) {
+	runExperimentBench(b, experiments.RunResilience, "speedup-under-faults")
+}
+
 // --- Microbenchmarks of the primary building blocks ---
 
 func BenchmarkSimulatePageRankBaseline(b *testing.B) {

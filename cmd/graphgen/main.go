@@ -23,6 +23,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		family     = flag.String("family", "rmat", "generator: rmat, ba, er, road, ws")
 		scale      = flag.Int("scale", 14, "log2 vertex count")
@@ -30,16 +37,16 @@ func main() {
 		undirected = flag.Bool("undirected", false, "treat/generate as undirected")
 		weighted   = flag.Bool("weighted", false, "attach edge weights")
 		edgelist   = flag.String("edgelist", "", "read a SNAP edge list instead of generating")
+		edgeErrs   = flag.Int("edge-errors", 0, "tolerate up to N malformed edge-list lines (0 = strict)")
 		in         = flag.String("in", "", "read a binary CSR file instead of generating")
 		out        = flag.String("out", "", "write the graph as binary CSR")
 		doReorder  = flag.Bool("reorder", false, "apply in-degree reordering before writing")
 	)
 	flag.Parse()
 
-	g, err := buildGraph(*family, *scale, *seed, *undirected, *weighted, *edgelist, *in)
+	g, err := buildGraph(*family, *scale, *seed, *undirected, *weighted, *edgelist, *edgeErrs, *in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	if *doReorder {
 		g = reorder.Apply(g, reorder.Compute(g, reorder.InDegree))
@@ -65,19 +72,18 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := gio.StoreBinary(f, g); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	return nil
 }
 
-func buildGraph(family string, scale int, seed uint64, undirected, weighted bool, edgelist, in string) (*graph.Graph, error) {
+func buildGraph(family string, scale int, seed uint64, undirected, weighted bool, edgelist string, edgeErrs int, in string) (*graph.Graph, error) {
 	switch {
 	case in != "":
 		f, err := os.Open(in)
@@ -92,7 +98,18 @@ func buildGraph(family string, scale int, seed uint64, undirected, weighted bool
 			return nil, err
 		}
 		defer f.Close()
-		return gio.LoadEdgeList(f, undirected, edgelist)
+		g, rep, err := gio.LoadEdgeListWithReport(f, edgelist, gio.EdgeListOptions{
+			Undirected:  undirected,
+			MaxBadLines: edgeErrs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rep.BadLines > 0 {
+			fmt.Fprintf(os.Stderr, "warning: skipped %d/%d malformed lines (first: %s)\n",
+				rep.BadLines, rep.Lines, rep.FirstBad)
+		}
+		return g, nil
 	}
 	return experiments.BuildFamily(family, scale, seed, undirected, weighted)
 }

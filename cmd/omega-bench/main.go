@@ -2,18 +2,26 @@
 // (DESIGN.md §4) and prints them as aligned text, optionally writing
 // TSV files per experiment.
 //
+// The suite is hardened: every runner executes under a watchdog timeout
+// with panic recovery, so one failing experiment reports a failed table
+// and the suite completes; Ctrl-C stops cleanly after the in-flight
+// experiment and still writes the partial artifacts collected so far.
+//
 // Usage:
 //
 //	omega-bench                     # full suite at default scale
 //	omega-bench -scale 14           # closer-to-paper regime (slower)
 //	omega-bench -only "Figure 14"   # one experiment
 //	omega-bench -tsv results/       # also write TSV files
+//	omega-bench -timeout 2m         # per-experiment watchdog
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -22,6 +30,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "omega-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		scale    = flag.Int("scale", 13, "log2 vertex count for generated datasets")
 		seed     = flag.Uint64("seed", 42, "generator seed")
@@ -31,97 +46,76 @@ func main() {
 		chart    = flag.Int("chart", -1, "also render the given column as an ASCII bar chart")
 		jsonDir  = flag.String("json", "", "directory to write per-experiment JSON files")
 		htmlPath = flag.String("html", "", "write a self-contained HTML report")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-experiment watchdog timeout (0 disables)")
 	)
 	flag.Parse()
 
+	// SIGINT cancels the suite: the in-flight experiment is abandoned,
+	// and everything collected so far is still printed and written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := experiments.Options{Scale: *scale, Seed: *seed, Coverage: *coverage}
 	start := time.Now()
-	runners := []struct {
-		id  string
-		run func(experiments.Options) *experiments.Table
-	}{
-		{"Table I", experiments.Table1},
-		{"Table II", experiments.Table2},
-		{"Table III", experiments.Table3},
-		{"Table IV", experiments.Table4},
-		{"Figure 3", experiments.Figure3},
-		{"Figure 4a", experiments.Figure4a},
-		{"Figure 4b", experiments.Figure4b},
-		{"Figure 5", experiments.Figure5},
-		{"Figure 14", experiments.Figure14},
-		{"Figure 15", experiments.Figure15},
-		{"Figure 16", experiments.Figure16},
-		{"Figure 17", experiments.Figure17},
-		{"Figure 18", experiments.Figure18},
-		{"Figure 19", experiments.Figure19},
-		{"Figure 20", experiments.Figure20},
-		{"Figure 21", experiments.Figure21},
-		{"Ablation A1", experiments.AblationScratchpadOnly},
-		{"Ablation A2", experiments.AblationAtomicOverhead},
-		{"Ablation A3", experiments.AblationReordering},
-		{"Ablation A4", experiments.AblationChunkMapping},
-		{"Ablation A5", experiments.AblationLockedCache},
-		{"Ablation A6", experiments.AblationPrefetcher},
-		{"Extension E1", experiments.ExtensionSlicing},
-		{"Extension E2", experiments.ExtensionDynamicGraph},
-		{"Extension E3", experiments.ExtensionPagePolicy},
-		{"Extension E4", experiments.ExtensionGraphMat},
-		{"Extension E5", experiments.ExtensionScaleRobustness},
-		{"Extension E6", experiments.ExtensionSeedSensitivity},
-		{"Extension E7", experiments.ExtensionTraversalDirection},
-	}
-	ran := 0
+	ran, failed := 0, 0
 	var collected []*experiments.Table
-	for _, r := range runners {
-		if *only != "" && !strings.Contains(r.id, *only) {
+	for _, spec := range experiments.Registry() {
+		if *only != "" && !strings.Contains(spec.ID, *only) {
 			continue
 		}
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "interrupted; emitting %d partial results\n", len(collected))
+			break
+		}
 		t0 := time.Now()
-		tbl := r.run(opts)
+		tbl := experiments.RunSafe(ctx, spec, opts, *timeout)
 		collected = append(collected, tbl)
 		fmt.Println(tbl.Format())
-		if *chart >= 0 {
+		if tbl.Failed {
+			failed++
+		} else if *chart >= 0 {
 			fmt.Println(tbl.Chart(*chart, 40))
 		}
-		fmt.Printf("(%s in %v)\n\n", r.id, time.Since(t0).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", spec.ID, time.Since(t0).Round(time.Millisecond))
 		ran++
 		if *tsvDir != "" {
-			if err := writeArtifact(*tsvDir, r.id, ".tsv", []byte(tbl.TSV())); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			if err := writeArtifact(*tsvDir, spec.ID, ".tsv", []byte(tbl.TSV())); err != nil {
+				return err
 			}
 		}
 		if *jsonDir != "" {
 			data, err := tbl.JSON()
 			if err == nil {
-				err = writeArtifact(*jsonDir, r.id, ".json", data)
+				err = writeArtifact(*jsonDir, spec.ID, ".json", data)
 			}
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 		}
 	}
 	if *htmlPath != "" {
-		f, err := os.Create(*htmlPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		meta := experiments.ReportMeta{
-			Title:     "OMEGA reproduction report (IISWC 2018)",
-			Options:   experiments.Options{Scale: *scale, Seed: *seed, Coverage: *coverage},
-			Generated: time.Now(),
-			Runtime:   time.Since(start).Round(time.Millisecond),
-		}
-		if err := experiments.WriteHTMLReport(f, meta, collected); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := writeHTML(*htmlPath, opts, start, collected); err != nil {
+			return err
 		}
 		fmt.Printf("wrote %s\n", *htmlPath)
 	}
-	fmt.Printf("ran %d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("ran %d experiments (%d failed) in %v\n", ran, failed, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func writeHTML(path string, opts experiments.Options, start time.Time, collected []*experiments.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	meta := experiments.ReportMeta{
+		Title:     "OMEGA reproduction report (IISWC 2018)",
+		Options:   opts,
+		Generated: time.Now(),
+		Runtime:   time.Since(start).Round(time.Millisecond),
+	}
+	return experiments.WriteHTMLReport(f, meta, collected)
 }
 
 // writeArtifact stores one experiment rendering under dir.

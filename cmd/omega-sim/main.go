@@ -5,7 +5,8 @@
 //
 //	omega-sim -algo PageRank -graph rmat -scale 14 [-machine both|baseline|omega]
 //	omega-sim -algo BFS -graph road -scale 14 -coverage 0.2
-//	omega-sim -algo CC -graph ba -scale 13 -edgelist path/to/snap.txt
+//	omega-sim -algo CC -graph ba -scale 13 -edgelist path/to/snap.txt -edge-errors 10
+//	omega-sim -algo PageRank -faults 1e-3 -fault-seed 7   # inject faults
 package main
 
 import (
@@ -23,29 +24,37 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "omega-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
-		algoName = flag.String("algo", "PageRank", "algorithm (PageRank, BFS, SSSP, BC, Radii, CC, TC, KC)")
-		graphKdn = flag.String("graph", "rmat", "dataset family: rmat, ba, er, road")
-		scale    = flag.Int("scale", 14, "log2 of the vertex count for generated graphs")
-		seed     = flag.Uint64("seed", 42, "generator seed")
-		machine  = flag.String("machine", "both", "baseline, omega, or both")
-		coverage = flag.Float64("coverage", 0.20, "fraction of vtxProp the scratchpads hold")
-		edgelist = flag.String("edgelist", "", "load a SNAP edge list instead of generating")
-		noPISC   = flag.Bool("no-pisc", false, "disable PISC engines (scratchpads only)")
-		verbose  = flag.Bool("v", false, "print full stats summaries")
-		jsonOut  = flag.Bool("json", false, "print machine stats as JSON instead of text")
+		algoName  = flag.String("algo", "PageRank", "algorithm (PageRank, BFS, SSSP, BC, Radii, CC, TC, KC)")
+		graphKdn  = flag.String("graph", "rmat", "dataset family: rmat, ba, er, road")
+		scale     = flag.Int("scale", 14, "log2 of the vertex count for generated graphs")
+		seed      = flag.Uint64("seed", 42, "generator seed")
+		machine   = flag.String("machine", "both", "baseline, omega, or both")
+		coverage  = flag.Float64("coverage", 0.20, "fraction of vtxProp the scratchpads hold")
+		edgelist  = flag.String("edgelist", "", "load a SNAP edge list instead of generating")
+		edgeErrs  = flag.Int("edge-errors", 0, "tolerate up to N malformed edge-list lines (0 = strict)")
+		noPISC    = flag.Bool("no-pisc", false, "disable PISC engines (scratchpads only)")
+		faultRate = flag.Float64("faults", 0, "fault injection rate per DRAM read / NoC message (0 = off)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault injector streams")
+		verbose   = flag.Bool("v", false, "print full stats summaries")
+		jsonOut   = flag.Bool("json", false, "print machine stats as JSON instead of text")
 	)
 	flag.Parse()
 
 	spec, ok := algorithms.ByName(*algoName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algoName)
-		os.Exit(2)
+		return fmt.Errorf("unknown algorithm %q", *algoName)
 	}
-	g, err := buildGraph(*graphKdn, *scale, *seed, *edgelist, spec)
+	g, err := buildGraph(*graphKdn, *scale, *seed, *edgelist, *edgeErrs, spec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	// OMEGA's static placement: in-degree reordering (§VI).
 	g = reorder.Apply(g, reorder.Compute(g, reorder.InDegree))
@@ -55,30 +64,45 @@ func main() {
 		omCfg.PISC = false
 		omCfg.Name = "omega-nopisc"
 	}
+	if *faultRate != 0 {
+		// Negative rates flow through so Config.Validate rejects them
+		// with a clear error instead of silently running fault-free.
+		fc := experiments.ResilienceFaults(*faultSeed, *faultRate)
+		baseCfg.Faults = fc
+		omCfg.Faults = fc
+	}
 	fmt.Printf("dataset %s: %d vertices, %d edges\n", g.Name, g.NumVertices(), g.NumEdges())
 
-	emit := func(st core.MachineStats) {
+	emit := func(st core.MachineStats) error {
 		if *jsonOut {
 			data, err := st.JSON()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			fmt.Println(string(data))
-			return
+			return nil
 		}
 		fmt.Print(st.Summary())
+		return nil
+	}
+	runOn := func(cfg core.Config) (core.MachineStats, error) {
+		m, err := core.NewMachineChecked(cfg)
+		if err != nil {
+			return core.MachineStats{}, err
+		}
+		st := spec.Run(ligra.New(m, g))
+		return st, emit(st)
 	}
 	var baseStats, omStats core.MachineStats
 	if *machine == "baseline" || *machine == "both" {
-		m := core.NewMachine(baseCfg)
-		baseStats = spec.Run(ligra.New(m, g))
-		emit(baseStats)
+		if baseStats, err = runOn(baseCfg); err != nil {
+			return err
+		}
 	}
 	if *machine == "omega" || *machine == "both" {
-		m := core.NewMachine(omCfg)
-		omStats = spec.Run(ligra.New(m, g))
-		emit(omStats)
+		if omStats, err = runOn(omCfg); err != nil {
+			return err
+		}
 	}
 	if *machine == "both" {
 		fmt.Printf("speedup (omega vs baseline): %.2fx\n", omStats.Speedup(baseStats))
@@ -90,18 +114,38 @@ func main() {
 			fmt.Printf("DRAM bandwidth utilization: %.2fx\n",
 				omStats.DRAMUtilized/baseStats.DRAMUtilized)
 		}
+		if *faultRate > 0 {
+			baseExp := float64(baseStats.DRAMBytes + baseStats.NoCBytes)
+			omExp := float64(omStats.DRAMBytes + omStats.NoCBytes)
+			if omExp > 0 {
+				fmt.Printf("bytes exposed to faulty paths (base/omega): %.2fx fewer on omega\n",
+					baseExp/omExp)
+			}
+		}
 	}
 	_ = verbose
+	return nil
 }
 
-func buildGraph(family string, scale int, seed uint64, edgelist string, spec algorithms.Spec) (*graph.Graph, error) {
+func buildGraph(family string, scale int, seed uint64, edgelist string, edgeErrs int, spec algorithms.Spec) (*graph.Graph, error) {
 	if edgelist != "" {
 		f, err := os.Open(edgelist)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		return gio.LoadEdgeList(f, spec.NeedsUndirected, edgelist)
+		g, rep, err := gio.LoadEdgeListWithReport(f, edgelist, gio.EdgeListOptions{
+			Undirected:  spec.NeedsUndirected,
+			MaxBadLines: edgeErrs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rep.BadLines > 0 {
+			fmt.Fprintf(os.Stderr, "warning: skipped %d/%d malformed lines (first: %s)\n",
+				rep.BadLines, rep.Lines, rep.FirstBad)
+		}
+		return g, nil
 	}
 	weighted := spec.NeedsWeights || spec.Name == "SSSP"
 	return experiments.BuildFamily(family, scale, seed, spec.NeedsUndirected, weighted)

@@ -23,6 +23,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "omega-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		algoName = flag.String("algo", "PageRank", "algorithm to trace")
 		scale    = flag.Int("scale", 12, "log2 vertex count (R-MAT)")
@@ -34,8 +41,7 @@ func main() {
 
 	spec, ok := algorithms.ByName(*algoName)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algoName)
-		os.Exit(2)
+		return fmt.Errorf("unknown algorithm %q", *algoName)
 	}
 	cfg := gen.DefaultRMAT(*scale, *seed)
 	cfg.Undirected = spec.NeedsUndirected
@@ -44,34 +50,40 @@ func main() {
 	g = reorder.Apply(g, reorder.Compute(g, reorder.InDegree))
 
 	baseCfg, omCfg := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, 0.20)
-	run := func(cfg core.Config) {
-		m := core.NewMachine(cfg)
+	runOn := func(cfg core.Config) error {
+		m, err := core.NewMachineChecked(cfg)
+		if err != nil {
+			return err
+		}
 		col := trace.NewCollector(100000)
 		m.SetTracer(col)
 		st := spec.Run(ligra.New(m, g))
 		fmt.Printf("== %s: %s on %s (%d cycles) ==\n", cfg.Name, spec.Name, g.Name, st.Cycles)
 		if err := col.WriteSummary(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println()
 		if *tsvPath != "" {
 			f, err := os.Create(fmt.Sprintf("%s.%s", *tsvPath, cfg.Name))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			defer f.Close()
 			if err := col.WriteTSV(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 		}
+		return nil
 	}
 	if *machine == "baseline" || *machine == "both" {
-		run(baseCfg)
+		if err := runOn(baseCfg); err != nil {
+			return err
+		}
 	}
 	if *machine == "omega" || *machine == "both" {
-		run(omCfg)
+		if err := runOn(omCfg); err != nil {
+			return err
+		}
 	}
+	return nil
 }

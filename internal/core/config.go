@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"omega/internal/cpu"
+	"omega/internal/faults"
 	"omega/internal/memsys"
 	"omega/internal/memsys/dram"
 )
@@ -90,6 +91,13 @@ type Config struct {
 	NoCBaseLatency memsys.Cycles
 	NoCBusBytes    int
 
+	// Faults configures the seed-driven fault injector for the resilience
+	// experiments: DRAM read bit-flips behind SECDED ECC, NoC message
+	// drops with bounded retransmission, and scratchpad parity errors
+	// that degrade vertex lines to the cache hierarchy. The zero value
+	// (all rates 0) disables injection entirely and is the default.
+	Faults faults.Config
+
 	// OpenMPChunk is the scheduling chunk size of the framework's
 	// parallel loops.
 	OpenMPChunk int
@@ -117,8 +125,27 @@ func (c Config) Validate() error {
 	if c.PISC && c.SPBytesPerCore == 0 {
 		return fmt.Errorf("core: PISC requires scratchpads")
 	}
+	if c.SPBytesPerCore > 0 && c.SPLat <= 0 {
+		return fmt.Errorf("core: scratchpads need a positive SPLat")
+	}
 	if c.OpenMPChunk <= 0 {
 		return fmt.Errorf("core: OpenMPChunk must be positive")
+	}
+	if c.DRAM.Channels <= 0 || c.DRAM.BanksPerChan <= 0 || c.DRAM.RowBytes <= 0 {
+		return fmt.Errorf("core: bad DRAM geometry (channels=%d banks=%d row=%d)",
+			c.DRAM.Channels, c.DRAM.BanksPerChan, c.DRAM.RowBytes)
+	}
+	if c.DRAM.ServiceCyclesPerLine <= 0 {
+		return fmt.Errorf("core: DRAM ServiceCyclesPerLine must be positive")
+	}
+	if c.NoCBusBytes <= 0 {
+		return fmt.Errorf("core: NoCBusBytes must be positive")
+	}
+	if c.LLCPollution < 0 {
+		return fmt.Errorf("core: negative LLCPollution")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("core: %v", err)
 	}
 	return nil
 }
@@ -220,6 +247,15 @@ func ScaledPair(numVertices, bytesPerVertex int, coverage float64) (Config, Conf
 	}
 	base.L1Bytes = l1
 	om.L1Bytes = l1
+	// Scaling must never emit a machine NewMachine would reject: any
+	// violation here is a bug in the scaling math, so fail fast with the
+	// validator's message instead of producing nonsense stats downstream.
+	for _, cfg := range []Config{base, om} {
+		if err := cfg.Validate(); err != nil {
+			panic(fmt.Sprintf("core: ScaledPair(%d, %d, %g) produced invalid %s config: %v",
+				numVertices, bytesPerVertex, coverage, cfg.Name, err))
+		}
+	}
 	return base, om
 }
 

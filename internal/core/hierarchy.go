@@ -233,7 +233,7 @@ func (p *cachePath) evictFromL2(now memsys.Cycles, bank int, victim cache.Evicte
 		}
 	}
 	if dirty {
-		p.dram.Access(now, global)
+		p.dram.Write(now, global)
 		p.dramWrites.Inc()
 	}
 }
@@ -259,7 +259,7 @@ func (p *cachePath) fillL1(now memsys.Cycles, core int, line memsys.Addr, write 
 		if v2, ev2 := p.l2[bank].Fill(p.l2Local(victim.Addr), true); ev2 {
 			// Victim-of-victim: count the DRAM writeback, do not recurse.
 			if v2.Dirty {
-				p.dram.Access(now, p.l2Global(v2.Addr, bank))
+				p.dram.Write(now, p.l2Global(v2.Addr, bank))
 				p.dramWrites.Inc()
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"omega/internal/cpu"
+	"omega/internal/faults"
 	"omega/internal/memsys"
 	"omega/internal/memsys/dram"
 	"omega/internal/memsys/noc"
@@ -17,13 +18,14 @@ import (
 // single-threaded by design: the simulation is deterministic event
 // scheduling, not host parallelism.
 type Machine struct {
-	cfg   Config
-	cores []*cpu.Core
-	xbar  *noc.Crossbar
-	mem   *dram.DRAM
-	path  *cachePath
-	hier  memsys.Hierarchy
-	omega *omegaHier // nil on the baseline machine
+	cfg    Config
+	cores  []*cpu.Core
+	xbar   *noc.Crossbar
+	mem    *dram.DRAM
+	path   *cachePath
+	hier   memsys.Hierarchy
+	omega  *omegaHier       // nil on the baseline machine
+	faults *faults.Injector // nil when injection is disabled
 
 	nextAddr memsys.Addr
 	regions  []*Region
@@ -49,10 +51,22 @@ type Tracer interface {
 }
 
 // NewMachine builds a machine from cfg. It panics on an invalid
-// configuration (configurations are static experiment inputs).
+// configuration (configurations are static experiment inputs); callers
+// that take configurations from external input (flags, files) should use
+// NewMachineChecked instead.
 func NewMachine(cfg Config) *Machine {
-	if err := cfg.Validate(); err != nil {
+	m, err := NewMachineChecked(cfg)
+	if err != nil {
 		panic(err)
+	}
+	return m
+}
+
+// NewMachineChecked is NewMachine returning the validation error instead
+// of panicking, for callers assembling configurations from user input.
+func NewMachineChecked(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	m := &Machine{
 		cfg:          cfg,
@@ -70,18 +84,27 @@ func NewMachine(cfg Config) *Machine {
 	dramCfg := cfg.DRAM
 	dramCfg.Hybrid = cfg.HybridPagePolicy
 	m.mem = dram.New(dramCfg)
+	if cfg.Faults.Enabled() {
+		m.faults = faults.New(cfg.Faults)
+		m.mem.AttachFaults(m.faults)
+		m.xbar.AttachFaults(m.faults)
+	}
 	m.path = newCachePath(cfg, m.xbar, m.mem)
 	for c := 0; c < cfg.NumCores; c++ {
 		m.cores = append(m.cores, cpu.New(c, cfg.Core))
 	}
 	if cfg.SPBytesPerCore > 0 {
-		m.omega = newOmegaHier(cfg, m.path, m.xbar)
+		m.omega = newOmegaHier(cfg, m.path, m.xbar, m.faults)
 		m.hier = m.omega
 	} else {
 		m.hier = &baselineHier{m.path}
 	}
-	return m
+	return m, nil
 }
+
+// FaultEvents snapshots the injected-fault log (zero when injection is
+// disabled).
+func (m *Machine) FaultEvents() faults.Events { return m.faults.Events() }
 
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"omega/internal/cpu"
+	"omega/internal/faults"
 	"omega/internal/memsys"
 	"omega/internal/memsys/noc"
 )
@@ -71,6 +72,13 @@ type MachineStats struct {
 	Atomics        uint64
 	SrcReads       uint64
 	Iterations     uint64
+
+	// Faults is the injected-fault log (all zero when injection is off —
+	// the zero-cost-abstraction guarantee the resilience tests verify).
+	Faults faults.Events
+	// SPDegraded is how many vertex lines parity errors pushed back to
+	// the cache hierarchy by the end of the run.
+	SPDegraded int
 }
 
 // TotalAccesses sums the issue-side access counts.
@@ -126,6 +134,7 @@ func (m *Machine) Stats() MachineStats {
 		}
 		s.SrcBufHitRate = m.omega.ctrl.SrcBufHits.Rate()
 		s.SPResident = m.omega.ctrl.ResidentCount()
+		s.SPDegraded = m.omega.ctrl.DegradedCount()
 		for _, e := range m.omega.engines {
 			s.PISCOps += e.Executed.Value()
 		}
@@ -151,6 +160,7 @@ func (m *Machine) Stats() MachineStats {
 	s.Atomics = m.atomicsIssued.Value()
 	s.SrcReads = m.srcReads.Value()
 	s.Iterations = m.iterations.Value()
+	s.Faults = m.faults.Events()
 	return s
 }
 
@@ -162,6 +172,7 @@ func (m *Machine) Reset() {
 	}
 	m.xbar.Reset()
 	m.mem.Reset()
+	m.faults.Reset()
 	if m.omega != nil {
 		m.omega.reset()
 	} else {
@@ -201,6 +212,11 @@ func (s MachineStats) Summary() string {
 	if s.SPAccesses > 0 {
 		fmt.Fprintf(&b, "  SP: %d accesses (%.1f%% local), srcbuf %.1f%%, resident %d, PISC ops %d\n",
 			s.SPAccesses, 100*s.SPLocalFraction, 100*s.SrcBufHitRate, s.SPResident, s.PISCOps)
+	}
+	if f := s.Faults; f.Total() > 0 {
+		fmt.Fprintf(&b, "  faults: ECC corr %d / det %d / silent %d, NoC drops %d (gave up %d), SP parity %d (degraded %d)\n",
+			f.DRAMCorrected, f.DRAMDetected, f.DRAMSilent,
+			f.NoCDropped, f.NoCGaveUp, f.SPParityErrors, s.SPDegraded)
 	}
 	t := s.TMAM.Total()
 	if t > 0 {

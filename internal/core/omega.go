@@ -1,6 +1,7 @@
 package core
 
 import (
+	"omega/internal/faults"
 	"omega/internal/memsys"
 	"omega/internal/memsys/noc"
 	"omega/internal/pisc"
@@ -28,13 +29,14 @@ type omegaHier struct {
 	engines []*pisc.Engine
 	xbar    *noc.Crossbar
 	cfg     Config
+	faults  *faults.Injector // nil when injection is disabled
 
 	offloads    stats.Counter
 	spAtomics   stats.Counter // atomics executed at SP without PISC
 	remoteReads stats.Counter
 }
 
-func newOmegaHier(cfg Config, path *cachePath, xbar *noc.Crossbar) *omegaHier {
+func newOmegaHier(cfg Config, path *cachePath, xbar *noc.Crossbar, inj *faults.Injector) *omegaHier {
 	spCfg := scratchpad.Config{
 		NumCores:         cfg.NumCores,
 		BytesPerCore:     cfg.SPBytesPerCore,
@@ -47,6 +49,7 @@ func newOmegaHier(cfg Config, path *cachePath, xbar *noc.Crossbar) *omegaHier {
 		ctrl:      scratchpad.NewController(spCfg),
 		xbar:      xbar,
 		cfg:       cfg,
+		faults:    inj,
 	}
 	for c := 0; c < cfg.NumCores; c++ {
 		h.engines = append(h.engines, pisc.NewEngine(pisc.DefaultConfig(cfg.SPLat)))
@@ -61,10 +64,30 @@ func (h *omegaHier) BeginIteration() { h.ctrl.InvalidateSrcBufs() }
 func (h *omegaHier) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
 	if a.Kind == memsys.KindVtxProp {
 		if v, resident := h.ctrl.Match(a.Addr); resident {
+			if h.faults != nil {
+				if trip, penalty := h.faults.SPParity(); trip {
+					return h.degrade(now, a, v, penalty)
+				}
+			}
 			return h.spAccess(now, a, v)
 		}
 	}
 	return h.cachePath.Access(now, a)
+}
+
+// degrade is the graceful-degradation path for a scratchpad parity error
+// (§resilience): the vertex line is marked bad — this and every later
+// access to it fall back to the cache hierarchy, so OMEGA keeps running
+// slower instead of wrong. The tripping access pays the detection penalty
+// on top of its cache-path latency.
+func (h *omegaHier) degrade(now memsys.Cycles, a memsys.Access, v uint32, penalty memsys.Cycles) memsys.Result {
+	if h.ctrl.MarkFaulty(v) {
+		h.faults.NoteSPDegraded()
+	}
+	res := h.cachePath.Access(now, a)
+	res.Latency += penalty
+	res.LevelName = "SP-degraded"
+	return res
 }
 
 // spAccess serves a scratchpad-resident vtxProp access.

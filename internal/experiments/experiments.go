@@ -55,6 +55,10 @@ type Table struct {
 	Rows [][]string
 	// Notes carries the paper-vs-measured commentary.
 	Notes []string
+	// Failed marks a table produced by the harness in place of a runner
+	// that panicked, hung past its watchdog, or was cancelled; the Rows
+	// then carry the diagnostics instead of results.
+	Failed bool
 }
 
 // AddRow appends a row built from values via fmt.Sprint.
@@ -75,13 +79,19 @@ func (t *Table) AddRow(vals ...interface{}) {
 func (t *Table) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	// Column widths consider header and row cells alike — and rows may be
+	// wider than the header (resilience tables append diagnostic cells),
+	// so the width vector grows to the widest row.
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			for i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -153,7 +163,8 @@ func (t *Table) JSON() ([]byte, error) {
 		Header []string   `json:"header"`
 		Rows   [][]string `json:"rows"`
 		Notes  []string   `json:"notes,omitempty"`
-	}{t.ID, t.Title, t.Header, t.Rows, t.Notes}, "", "  ")
+		Failed bool       `json:"failed,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes, t.Failed}, "", "  ")
 }
 
 // TSV renders the table as tab-separated values.

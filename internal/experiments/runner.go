@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// Spec registers one experiment runner under the ID its artifacts use.
+type Spec struct {
+	// ID is the paper artifact ("Table I", "Figure 14", "Resilience R1").
+	ID string
+	// Run regenerates the artifact.
+	Run func(Options) *Table
+}
+
+// Registry returns every registered experiment in suite order — the
+// single source cmd/omega-bench and the benchmarks iterate.
+func Registry() []Spec {
+	return []Spec{
+		{"Table I", Table1},
+		{"Table II", Table2},
+		{"Table III", Table3},
+		{"Table IV", Table4},
+		{"Figure 3", Figure3},
+		{"Figure 4a", Figure4a},
+		{"Figure 4b", Figure4b},
+		{"Figure 5", Figure5},
+		{"Figure 14", Figure14},
+		{"Figure 15", Figure15},
+		{"Figure 16", Figure16},
+		{"Figure 17", Figure17},
+		{"Figure 18", Figure18},
+		{"Figure 19", Figure19},
+		{"Figure 20", Figure20},
+		{"Figure 21", Figure21},
+		{"Ablation A1", AblationScratchpadOnly},
+		{"Ablation A2", AblationAtomicOverhead},
+		{"Ablation A3", AblationReordering},
+		{"Ablation A4", AblationChunkMapping},
+		{"Ablation A5", AblationLockedCache},
+		{"Ablation A6", AblationPrefetcher},
+		{"Extension E1", ExtensionSlicing},
+		{"Extension E2", ExtensionDynamicGraph},
+		{"Extension E3", ExtensionPagePolicy},
+		{"Extension E4", ExtensionGraphMat},
+		{"Extension E5", ExtensionScaleRobustness},
+		{"Extension E6", ExtensionSeedSensitivity},
+		{"Extension E7", ExtensionTraversalDirection},
+		{"Resilience R1", RunResilience},
+	}
+}
+
+// FailedTable builds the table the harness substitutes for a runner that
+// could not produce results: the suite keeps going and reports why.
+func FailedTable(id, reason string, diagnostics ...string) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  "FAILED — " + reason,
+		Header: []string{"error"},
+		Failed: true,
+	}
+	t.AddRow(reason)
+	for _, d := range diagnostics {
+		for _, line := range strings.Split(strings.TrimRight(d, "\n"), "\n") {
+			t.Notes = append(t.Notes, line)
+		}
+	}
+	return t
+}
+
+// RunSafe executes spec.Run under the hardened harness: a panicking
+// runner is recovered into a failed Table carrying its stack trace, a
+// runner that exceeds the watchdog timeout (or outlives ctx — SIGINT in
+// cmd/omega-bench) is abandoned and reported as failed, and in every case
+// the caller gets a printable Table back so the rest of the suite keeps
+// going. timeout <= 0 disables the watchdog. A timed-out or cancelled
+// runner's goroutine is left to finish in the background (the simulator
+// has no preemption points); its eventual result is discarded.
+func RunSafe(ctx context.Context, spec Spec, o Options, timeout time.Duration) *Table {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := make(chan *Table, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- FailedTable(spec.ID,
+					fmt.Sprintf("runner panicked: %v", r), string(debug.Stack()))
+			}
+		}()
+		done <- spec.Run(o)
+	}()
+	var watchdog <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		watchdog = timer.C
+	}
+	select {
+	case t := <-done:
+		if t == nil {
+			return FailedTable(spec.ID, "runner returned no table")
+		}
+		return t
+	case <-ctx.Done():
+		return FailedTable(spec.ID, fmt.Sprintf("cancelled: %v", ctx.Err()))
+	case <-watchdog:
+		return FailedTable(spec.ID,
+			fmt.Sprintf("watchdog: runner exceeded %v (abandoned)", timeout))
+	}
+}

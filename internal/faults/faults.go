@@ -1,0 +1,330 @@
+// Package faults is the deterministic, seed-driven fault injector of the
+// reproduction's resilience study. A real deployment of a heterogeneous
+// memory subsystem must survive soft errors in DRAM, dropped or delayed
+// packets on the interconnect, and parity errors in the software-managed
+// scratchpads; this package models all three as timing (never functional)
+// events, so a run under injection produces the same algorithmic results,
+// only slower — the graceful-degradation property the resilience
+// experiments quantify.
+//
+// Three independent xorshift streams (one per memory path) are derived
+// from a single seed, so the fault pattern on one path never perturbs the
+// draws on another and the same (seed, rates) pair always reproduces the
+// exact same event sequence — MachineStats under injection are
+// byte-identical across runs.
+//
+// Fault models:
+//
+//   - DRAM read bit-flips behind a SECDED ECC code: single-bit flips are
+//     corrected inline for a small latency penalty, double-bit flips are
+//     detected and replayed (the full device access is charged again),
+//     and a small tail of ≥3-bit flips escapes the code entirely and is
+//     only counted (a real system would see silent data corruption; the
+//     simulator keeps functional state correct and records the exposure).
+//   - NoC message drops: a dropped message is retransmitted after
+//     exponential backoff, bounded by MaxRetries; every retransmission
+//     costs cycles (backoff + re-serialization) and bytes (the message
+//     travels again). A message whose retries are exhausted is counted as
+//     given-up and delivered anyway — the model never loses data, it
+//     surfaces the event instead.
+//   - Scratchpad parity errors: a parity hit on a scratchpad line marks
+//     the backing vertex line bad; the access (and every later access to
+//     that vertex) falls back to the cache hierarchy, so OMEGA keeps
+//     running slower instead of wrong.
+package faults
+
+import (
+	"fmt"
+
+	"omega/internal/memsys"
+	"omega/internal/stats"
+)
+
+// Config parameterizes the injector. The zero value disables every fault
+// class; a Config with all rates zero is a no-op injector whose attached
+// machine produces bit-identical statistics to an injector-free one.
+type Config struct {
+	// Seed drives the three per-path random streams.
+	Seed uint64
+
+	// DRAMFlipRate is the probability that one DRAM line read suffers at
+	// least one bit flip.
+	DRAMFlipRate float64
+	// DRAMDoubleBitFraction is the conditional probability that a flip
+	// event is a double-bit (detected, replayed) rather than single-bit
+	// (corrected) error. Default 0.10.
+	DRAMDoubleBitFraction float64
+	// DRAMSilentFraction is the conditional probability that a flip event
+	// exceeds SECDED's detection capability (≥3 bits) and passes silently.
+	// Default 0.01.
+	DRAMSilentFraction float64
+	// ECCCorrectCycles is the inline correction penalty. Default 2.
+	ECCCorrectCycles memsys.Cycles
+	// ECCRetryCycles is the detect-and-replay overhead charged on top of
+	// the replayed device access. Default 8.
+	ECCRetryCycles memsys.Cycles
+
+	// NoCDropRate is the per-message (and per-retransmission) drop
+	// probability for non-local NoC messages.
+	NoCDropRate float64
+	// NoCMaxRetries bounds retransmissions per message. Default 3.
+	NoCMaxRetries int
+	// NoCBackoffCycles is the first retransmission's backoff; it doubles
+	// on every further attempt (exponential backoff). Default 16.
+	NoCBackoffCycles memsys.Cycles
+
+	// SPParityRate is the per-access probability that a scratchpad line
+	// read trips parity, permanently degrading that vertex line to the
+	// cache hierarchy.
+	SPParityRate float64
+	// SPDetectCycles is the parity-detection penalty charged to the
+	// access that trips it. Default 4.
+	SPDetectCycles memsys.Cycles
+}
+
+// Enabled reports whether any fault class has a non-zero rate.
+func (c Config) Enabled() bool {
+	return c.DRAMFlipRate > 0 || c.NoCDropRate > 0 || c.SPParityRate > 0
+}
+
+// Validate checks rates and bounds.
+func (c Config) Validate() error {
+	check := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("faults: %s %g outside [0,1]", name, v)
+		}
+		return nil
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"DRAMFlipRate", c.DRAMFlipRate},
+		{"DRAMDoubleBitFraction", c.DRAMDoubleBitFraction},
+		{"DRAMSilentFraction", c.DRAMSilentFraction},
+		{"NoCDropRate", c.NoCDropRate},
+		{"SPParityRate", c.SPParityRate},
+	} {
+		if err := check(p.name, p.v); err != nil {
+			return err
+		}
+	}
+	if c.DRAMDoubleBitFraction+c.DRAMSilentFraction > 1 {
+		return fmt.Errorf("faults: double-bit + silent fractions exceed 1")
+	}
+	if c.NoCMaxRetries < 0 {
+		return fmt.Errorf("faults: negative NoCMaxRetries")
+	}
+	return nil
+}
+
+// withDefaults fills zero-valued model parameters (rates stay as given).
+func (c Config) withDefaults() Config {
+	if c.DRAMDoubleBitFraction == 0 {
+		c.DRAMDoubleBitFraction = 0.10
+	}
+	if c.DRAMSilentFraction == 0 {
+		c.DRAMSilentFraction = 0.01
+	}
+	if c.ECCCorrectCycles == 0 {
+		c.ECCCorrectCycles = 2
+	}
+	if c.ECCRetryCycles == 0 {
+		c.ECCRetryCycles = 8
+	}
+	if c.NoCMaxRetries == 0 {
+		c.NoCMaxRetries = 3
+	}
+	if c.NoCBackoffCycles == 0 {
+		c.NoCBackoffCycles = 16
+	}
+	if c.SPDetectCycles == 0 {
+		c.SPDetectCycles = 4
+	}
+	return c
+}
+
+// Events is the cumulative fault log of one injector — a plain struct of
+// counters so it embeds directly into core.MachineStats and marshals to
+// JSON. The zero value means "no faults occurred (or injection was off)".
+type Events struct {
+	// DRAM ECC outcomes per line read that suffered a flip.
+	DRAMCorrected uint64 // single-bit, fixed inline
+	DRAMDetected  uint64 // double-bit, detected and replayed
+	DRAMSilent    uint64 // ≥3-bit, escaped SECDED (counted exposure)
+	// DRAMRetryCycles is the total latency added by ECC handling.
+	DRAMRetryCycles uint64
+
+	// NoC drop handling.
+	NoCDropped         uint64 // messages that suffered ≥1 drop
+	NoCRetransmits     uint64 // total retransmissions sent
+	NoCGaveUp          uint64 // messages whose retry budget was exhausted
+	NoCRetryCycles     uint64 // backoff + re-serialization cycles added
+	NoCRetransmitBytes uint64 // extra bytes moved by retransmissions
+
+	// Scratchpad parity handling.
+	SPParityErrors     uint64 // parity trips
+	SPDegradedVertices uint64 // distinct vertex lines degraded to cache
+}
+
+// Total returns the count of all fault events (not cycles/bytes).
+func (e Events) Total() uint64 {
+	return e.DRAMCorrected + e.DRAMDetected + e.DRAMSilent +
+		e.NoCDropped + e.SPParityErrors
+}
+
+// Injector draws fault events for the three simulated memory paths. All
+// methods are safe on a nil receiver (they report "no fault"), so
+// components hold a plain *Injector and need no separate enabled flag.
+// Not safe for concurrent use — the simulator is single-threaded.
+type Injector struct {
+	cfg Config
+	// Independent streams per path: injection on one path must not
+	// perturb the event sequence of another.
+	dramRand *stats.Rand
+	nocRand  *stats.Rand
+	spRand   *stats.Rand
+
+	ev Events
+}
+
+// Per-path stream tweaks: arbitrary odd constants so the three streams
+// are decorrelated even under adversarial seeds.
+const (
+	dramStream = 0x9E3779B97F4A7C15
+	nocStream  = 0xC2B2AE3D27D4EB4F
+	spStream   = 0x165667B19E3779F9
+)
+
+// New builds an injector from cfg (after filling model-parameter
+// defaults). It panics on an invalid configuration — configurations are
+// static experiment inputs, like core.Config.
+func New(cfg Config) *Injector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	return &Injector{
+		cfg:      cfg,
+		dramRand: stats.NewRand(cfg.Seed ^ dramStream),
+		nocRand:  stats.NewRand(cfg.Seed ^ nocStream),
+		spRand:   stats.NewRand(cfg.Seed ^ spStream),
+	}
+}
+
+// Config returns the (default-filled) configuration.
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// Events snapshots the cumulative fault log.
+func (in *Injector) Events() Events {
+	if in == nil {
+		return Events{}
+	}
+	return in.ev
+}
+
+// Reset clears the fault log and restarts the random streams, so a
+// machine Reset followed by an identical run reproduces the identical
+// fault sequence.
+func (in *Injector) Reset() {
+	if in == nil {
+		return
+	}
+	in.ev = Events{}
+	in.dramRand.Seed(in.cfg.Seed ^ dramStream)
+	in.nocRand.Seed(in.cfg.Seed ^ nocStream)
+	in.spRand.Seed(in.cfg.Seed ^ spStream)
+}
+
+// DRAMRead draws the ECC outcome for one DRAM line read whose device
+// access cost devCycles, returning the extra latency to charge: 0 when no
+// flip (or a silent one) occurred, the correction penalty for a
+// single-bit flip, or a full replay (devCycles plus the detect overhead)
+// for a detected double-bit flip.
+func (in *Injector) DRAMRead(devCycles memsys.Cycles) memsys.Cycles {
+	if in == nil || in.cfg.DRAMFlipRate <= 0 {
+		return 0
+	}
+	if in.dramRand.Float64() >= in.cfg.DRAMFlipRate {
+		return 0
+	}
+	kind := in.dramRand.Float64()
+	switch {
+	case kind < in.cfg.DRAMSilentFraction:
+		in.ev.DRAMSilent++
+		return 0
+	case kind < in.cfg.DRAMSilentFraction+in.cfg.DRAMDoubleBitFraction:
+		in.ev.DRAMDetected++
+		extra := devCycles + in.cfg.ECCRetryCycles
+		in.ev.DRAMRetryCycles += uint64(extra)
+		return extra
+	default:
+		in.ev.DRAMCorrected++
+		in.ev.DRAMRetryCycles += uint64(in.cfg.ECCCorrectCycles)
+		return in.cfg.ECCCorrectCycles
+	}
+}
+
+// NoCSend draws drop/retry behaviour for one non-local message of
+// totalBytes that serializes in flits cycles. It returns the extra
+// delivery latency (exponential backoff plus re-serialization per
+// retransmission) and how many retransmissions were sent — the caller
+// charges the retransmitted bytes to its traffic counters so the
+// resilience tables see them.
+func (in *Injector) NoCSend(flits memsys.Cycles, totalBytes int) (extra memsys.Cycles, resends int) {
+	if in == nil || in.cfg.NoCDropRate <= 0 {
+		return 0, 0
+	}
+	if in.nocRand.Float64() >= in.cfg.NoCDropRate {
+		return 0, 0
+	}
+	in.ev.NoCDropped++
+	backoff := in.cfg.NoCBackoffCycles
+	for attempt := 0; attempt < in.cfg.NoCMaxRetries; attempt++ {
+		extra += backoff + flits
+		resends++
+		backoff *= 2
+		if in.nocRand.Float64() >= in.cfg.NoCDropRate {
+			// Retransmission delivered.
+			in.ev.NoCRetransmits += uint64(resends)
+			in.ev.NoCRetryCycles += uint64(extra)
+			in.ev.NoCRetransmitBytes += uint64(resends * totalBytes)
+			return extra, resends
+		}
+	}
+	// Retry budget exhausted: count it and deliver anyway — the model
+	// never loses data, it surfaces the event.
+	in.ev.NoCGaveUp++
+	in.ev.NoCRetransmits += uint64(resends)
+	in.ev.NoCRetryCycles += uint64(extra)
+	in.ev.NoCRetransmitBytes += uint64(resends * totalBytes)
+	return extra, resends
+}
+
+// SPParity draws one scratchpad-access parity check. On a trip it returns
+// the detection penalty; the caller degrades the affected line via
+// NoteSPDegraded and serves the access from the cache hierarchy.
+func (in *Injector) SPParity() (trip bool, penalty memsys.Cycles) {
+	if in == nil || in.cfg.SPParityRate <= 0 {
+		return false, 0
+	}
+	if in.spRand.Float64() >= in.cfg.SPParityRate {
+		return false, 0
+	}
+	in.ev.SPParityErrors++
+	return true, in.cfg.SPDetectCycles
+}
+
+// NoteSPDegraded records that one more distinct vertex line was degraded
+// from scratchpad to the cache hierarchy.
+func (in *Injector) NoteSPDegraded() {
+	if in == nil {
+		return
+	}
+	in.ev.SPDegradedVertices++
+}

@@ -30,6 +30,21 @@ func FuzzLoadEdgeList(f *testing.F) {
 				t.Fatalf("undirected parse invalid: %v", err)
 			}
 		}
+		// The lenient path must hold the same invariant: whatever survives
+		// the error budget validates, and the report stays consistent.
+		gl, rep, err := LoadEdgeListWithReport(strings.NewReader(src), "fuzz-lenient",
+			EdgeListOptions{MaxBadLines: 8})
+		if err == nil {
+			if err := gl.Validate(); err != nil {
+				t.Fatalf("lenient parse invalid: %v", err)
+			}
+			if rep.BadLines > 8 || rep.BadLines > rep.Lines {
+				t.Fatalf("inconsistent report: %+v", rep)
+			}
+			if (rep.BadLines == 0) != (rep.FirstBad == "") {
+				t.Fatalf("FirstBad out of sync with BadLines: %+v", rep)
+			}
+		}
 	})
 }
 

@@ -14,11 +14,43 @@ import (
 	"omega/internal/graph"
 )
 
+// EdgeListOptions configures LoadEdgeListWithReport.
+type EdgeListOptions struct {
+	// Undirected stores each listed edge in both directions.
+	Undirected bool
+	// MaxBadLines is the error budget: up to this many malformed lines
+	// are skipped (and counted) before the load fails. 0 is strict —
+	// the first malformed line is an error.
+	MaxBadLines int
+}
+
+// EdgeListReport describes what a lenient load skipped.
+type EdgeListReport struct {
+	// Lines is the number of data lines seen (comments/blanks excluded).
+	Lines int
+	// BadLines is how many malformed lines were skipped.
+	BadLines int
+	// FirstBad describes the first malformed line (empty when BadLines
+	// is 0) — enough to locate the corruption without failing the run.
+	FirstBad string
+}
+
 // LoadEdgeList reads a SNAP-style edge list: one "src dst [weight]" per
 // line, '#' or '%' comment lines ignored, vertices identified by arbitrary
 // non-negative integers (densified to [0,n)). If undirected is true, each
-// listed edge is stored in both directions.
+// listed edge is stored in both directions. Any malformed line is an
+// error; use LoadEdgeListWithReport for a tolerant load.
 func LoadEdgeList(r io.Reader, undirected bool, name string) (*graph.Graph, error) {
+	g, _, err := LoadEdgeListWithReport(r, name, EdgeListOptions{Undirected: undirected})
+	return g, err
+}
+
+// LoadEdgeListWithReport is LoadEdgeList with graceful degradation: up to
+// opts.MaxBadLines malformed lines are skipped and counted in the report
+// instead of failing the whole load, so a mostly-good dataset with a few
+// corrupt lines still runs (the caller decides how much rot to tolerate).
+func LoadEdgeListWithReport(r io.Reader, name string, opts EdgeListOptions) (*graph.Graph, EdgeListReport, error) {
+	var rep EdgeListReport
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	type rawEdge struct {
@@ -36,6 +68,21 @@ func LoadEdgeList(r io.Reader, undirected bool, name string) (*graph.Graph, erro
 		idMap[raw] = id
 		return id
 	}
+	// bad either consumes one unit of the error budget or fails the load.
+	bad := func(format string, args ...interface{}) error {
+		msg := fmt.Sprintf(format, args...)
+		rep.BadLines++
+		if rep.FirstBad == "" {
+			rep.FirstBad = msg
+		}
+		if rep.BadLines > opts.MaxBadLines {
+			if opts.MaxBadLines > 0 {
+				return fmt.Errorf("gio: %s (error budget of %d exhausted)", msg, opts.MaxBadLines)
+			}
+			return fmt.Errorf("gio: %s", msg)
+		}
+		return nil
+	}
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -43,37 +90,50 @@ func LoadEdgeList(r io.Reader, undirected bool, name string) (*graph.Graph, erro
 		if line == "" || line[0] == '#' || line[0] == '%' {
 			continue
 		}
+		rep.Lines++
 		fields := strings.Fields(line)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("gio: line %d: want 'src dst [w]', got %q", lineNo, line)
+			if err := bad("line %d: want 'src dst [w]', got %q", lineNo, line); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		src, err := strconv.ParseUint(fields[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("gio: line %d: bad src: %v", lineNo, err)
+			if err := bad("line %d: bad src: %v", lineNo, err); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		dst, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("gio: line %d: bad dst: %v", lineNo, err)
+			if err := bad("line %d: bad dst: %v", lineNo, err); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		var w int64 = 1
 		if len(fields) >= 3 {
 			w, err = strconv.ParseInt(fields[2], 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("gio: line %d: bad weight: %v", lineNo, err)
+				if err := bad("line %d: bad weight: %v", lineNo, err); err != nil {
+					return nil, rep, err
+				}
+				continue
 			}
 			weighted = true
 		}
 		edges = append(edges, rawEdge{src, dst, int32(w)})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("gio: scan: %v", err)
+		return nil, rep, fmt.Errorf("gio: scan: %v", err)
 	}
 	// Densify in first-seen order for determinism.
 	for _, e := range edges {
 		densify(e.src)
 		densify(e.dst)
 	}
-	b := graph.NewBuilder(len(idMap), undirected)
+	b := graph.NewBuilder(len(idMap), opts.Undirected)
 	if weighted {
 		b.SetWeighted()
 	}
@@ -81,7 +141,7 @@ func LoadEdgeList(r io.Reader, undirected bool, name string) (*graph.Graph, erro
 		b.AddEdge(idMap[e.src], idMap[e.dst], e.w)
 	}
 	b.Dedup()
-	return b.Build(name), nil
+	return b.Build(name), rep, nil
 }
 
 // Binary CSR format:

@@ -83,6 +83,58 @@ func TestLoadEdgeListErrors(t *testing.T) {
 	}
 }
 
+func TestLoadEdgeListWithReportBudget(t *testing.T) {
+	// Two corrupt lines among four good ones.
+	src := "0 1\nbroken\n1 2\n0 y\n2 0\n0 3\n"
+
+	// Strict (budget 0): first corruption fails the load.
+	if _, _, err := LoadEdgeListWithReport(strings.NewReader(src), "strict", EdgeListOptions{}); err == nil {
+		t.Fatal("strict load should fail on the first bad line")
+	}
+
+	// Budget 1: the second corruption exhausts it.
+	_, rep, err := LoadEdgeListWithReport(strings.NewReader(src), "tight", EdgeListOptions{MaxBadLines: 1})
+	if err == nil {
+		t.Fatal("budget 1 should be exhausted by the second bad line")
+	}
+	if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("error should mention the budget: %v", err)
+	}
+	_ = rep
+
+	// Budget 2: both skipped, load succeeds, report counts them.
+	g, rep, err := LoadEdgeListWithReport(strings.NewReader(src), "lenient", EdgeListOptions{MaxBadLines: 2})
+	if err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	if rep.BadLines != 2 || rep.Lines != 6 {
+		t.Fatalf("report = %+v, want 2 bad of 6", rep)
+	}
+	if rep.FirstBad == "" || !strings.Contains(rep.FirstBad, "line 2") {
+		t.Fatalf("first bad line not located: %q", rep.FirstBad)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("good edges lost: %d, want 4", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestLoadEdgeListWithReportCleanInput(t *testing.T) {
+	g, rep, err := LoadEdgeListWithReport(strings.NewReader("0 1\n1 2\n"), "clean",
+		EdgeListOptions{MaxBadLines: 5})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if rep.BadLines != 0 || rep.FirstBad != "" || rep.Lines != 2 {
+		t.Fatalf("clean input misreported: %+v", rep)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges %d", g.NumEdges())
+	}
+}
+
 func TestBinaryRoundTrip(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(9, 21))
 	var buf bytes.Buffer

@@ -8,6 +8,7 @@ package dram
 import (
 	"fmt"
 
+	"omega/internal/faults"
 	"omega/internal/memsys"
 	"omega/internal/stats"
 )
@@ -61,12 +62,18 @@ type DRAM struct {
 	// openRow per (channel, bank); ^0 means closed.
 	openRow [][]uint64
 
+	// faults, when attached, injects read bit-flips behind a SECDED ECC
+	// model (nil = no injection, the default).
+	faults *faults.Injector
+
 	// Stats
 	Accesses   stats.Counter
 	RowHits    stats.Ratio
 	BytesMoved stats.Counter
 	// QueueDelay accumulates cycles spent waiting for a busy channel.
 	QueueDelay stats.Counter
+	// ECCPenalty accumulates latency added by injected ECC events.
+	ECCPenalty stats.Counter
 	// lastBusy tracks the furthest completion time, for utilization.
 	lastBusy memsys.Cycles
 }
@@ -93,15 +100,31 @@ func New(cfg Config) *DRAM {
 // Config returns the configuration.
 func (d *DRAM) Config() Config { return d.cfg }
 
-// Access simulates one line-sized access beginning at time now and returns
-// its latency (queueing + device access).
+// AttachFaults installs a fault injector; DRAM read accesses then pass
+// through its SECDED ECC model. nil detaches.
+func (d *DRAM) AttachFaults(in *faults.Injector) { d.faults = in }
+
+// Access simulates one line-sized read beginning at time now and returns
+// its latency (queueing + device access, plus any injected ECC handling).
 func (d *DRAM) Access(now memsys.Cycles, addr memsys.Addr) memsys.Cycles {
 	return d.AccessHint(now, addr, false)
+}
+
+// Write simulates one line-sized writeback. Writes skip the ECC read
+// model — bit-flips matter when data is read back, and the read path is
+// where the injector charges them.
+func (d *DRAM) Write(now memsys.Cycles, addr memsys.Addr) memsys.Cycles {
+	return d.access(now, addr, false, false)
 }
 
 // AccessHint is Access with a locality hint: under the Hybrid policy,
 // low-locality accesses close their row after use (§IX).
 func (d *DRAM) AccessHint(now memsys.Cycles, addr memsys.Addr, lowLocality bool) memsys.Cycles {
+	return d.access(now, addr, lowLocality, true)
+}
+
+// access is the shared device model behind reads and writebacks.
+func (d *DRAM) access(now memsys.Cycles, addr memsys.Addr, lowLocality, read bool) memsys.Cycles {
 	la := uint64(memsys.LineAddr(addr))
 	chIdx := (la / memsys.LineSize) % uint64(d.cfg.Channels)
 	bankIdx := (la / uint64(d.cfg.RowBytes)) % uint64(d.cfg.BanksPerChan)
@@ -125,6 +148,14 @@ func (d *DRAM) AccessHint(now memsys.Cycles, addr memsys.Addr, lowLocality bool)
 		d.openRow[chIdx][bankIdx] = ^uint64(0)
 	} else {
 		d.openRow[chIdx][bankIdx] = row
+	}
+	if read && d.faults != nil {
+		if extra := d.faults.DRAMRead(dev); extra > 0 {
+			// Single-bit: inline correction. Double-bit: detected, the
+			// device access replays (extra includes it).
+			dev += extra
+			d.ECCPenalty.Add(uint64(extra))
+		}
 	}
 	done := start + dev
 	if done > d.lastBusy {
@@ -165,5 +196,6 @@ func (d *DRAM) Reset() {
 	d.RowHits = stats.Ratio{}
 	d.BytesMoved.Reset()
 	d.QueueDelay.Reset()
+	d.ECCPenalty.Reset()
 	d.lastBusy = 0
 }

@@ -9,6 +9,7 @@ package noc
 import (
 	"fmt"
 
+	"omega/internal/faults"
 	"omega/internal/memsys"
 	"omega/internal/stats"
 )
@@ -66,11 +67,16 @@ func (c MsgClass) String() string {
 
 // Crossbar is the interconnect model. Not safe for concurrent use.
 type Crossbar struct {
-	cfg       Config
-	ports     []memsys.Queue
-	bytesBy   [numClasses]stats.Counter
-	msgsBy    [numClasses]stats.Counter
+	cfg     Config
+	ports   []memsys.Queue
+	bytesBy [numClasses]stats.Counter
+	msgsBy  [numClasses]stats.Counter
+	// faults, when attached, drops/delays non-local messages with
+	// bounded retransmission (nil = no injection, the default).
+	faults    *faults.Injector
 	QueueWait stats.Counter
+	// RetryWait accumulates cycles added by injected drop/retry handling.
+	RetryWait stats.Counter
 }
 
 // New builds the crossbar.
@@ -83,6 +89,10 @@ func New(cfg Config) *Crossbar {
 
 // Config returns the configuration.
 func (x *Crossbar) Config() Config { return x.cfg }
+
+// AttachFaults installs a fault injector; non-local sends then suffer
+// seeded drop/retransmission events. nil detaches.
+func (x *Crossbar) AttachFaults(in *faults.Injector) { x.faults = in }
 
 // Send simulates one message of payloadBytes from src to dst starting at
 // now, returning its delivery latency. A control header of CtrlBytes is
@@ -113,7 +123,18 @@ func (x *Crossbar) Send(now memsys.Cycles, src, dst int, payloadBytes int, class
 		wait = x.cfg.MaxQueueCycles
 	}
 	x.QueueWait.Add(uint64(wait))
-	return wait + x.cfg.BaseLatency + flits
+	lat := wait + x.cfg.BaseLatency + flits
+	if x.faults != nil {
+		if extra, resends := x.faults.NoCSend(flits, total); resends > 0 {
+			// Retransmissions are real traffic: count their bytes and
+			// messages, and delay delivery by backoff + re-serialization.
+			x.bytesBy[class].Add(uint64(resends * total))
+			x.msgsBy[class].Add(uint64(resends))
+			x.RetryWait.Add(uint64(extra))
+			lat += extra
+		}
+	}
+	return lat
 }
 
 // RoundTrip simulates a request to dst followed by a response carrying
@@ -149,4 +170,5 @@ func (x *Crossbar) Reset() {
 		x.msgsBy[i].Reset()
 	}
 	x.QueueWait.Reset()
+	x.RetryWait.Reset()
 }

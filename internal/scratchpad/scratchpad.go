@@ -87,6 +87,11 @@ type Controller struct {
 	// residentCount is how many vertices (0..residentCount-1, i.e. the
 	// most-connected after in-degree reordering) live in scratchpads.
 	residentCount uint32
+	// faulty holds vertex lines degraded by parity errors: they are no
+	// longer scratchpad-resident and fall back to the cache hierarchy
+	// (graceful degradation — slower, never wrong). nil until the first
+	// fault.
+	faulty map[uint32]struct{}
 
 	// Stats
 	LocalAccesses  stats.Counter
@@ -153,15 +158,38 @@ func (c *Controller) ResidentCount() int { return int(c.residentCount) }
 func (c *Controller) BytesPerVertex() int { return c.bytesPerVertex }
 
 // Match implements the monitor unit: it reports whether addr belongs to a
-// registered vtxProp array of a scratchpad-resident vertex.
+// registered vtxProp array of a scratchpad-resident vertex. Vertex lines
+// degraded by parity errors are reported non-resident, redirecting their
+// accesses to the cache hierarchy.
 func (c *Controller) Match(addr memsys.Addr) (vertex uint32, resident bool) {
 	for i := range c.monitors {
 		if v, ok := c.monitors[i].Contains(addr); ok {
+			if _, bad := c.faulty[v]; bad {
+				return v, false
+			}
 			return v, v < c.residentCount
 		}
 	}
 	return 0, false
 }
+
+// MarkFaulty degrades one vertex line after a parity error: the vertex is
+// excluded from residency and all its future accesses take the cache
+// path. It reports whether the line was newly degraded.
+func (c *Controller) MarkFaulty(vertex uint32) bool {
+	if c.faulty == nil {
+		c.faulty = make(map[uint32]struct{})
+	}
+	if _, ok := c.faulty[vertex]; ok {
+		return false
+	}
+	c.faulty[vertex] = struct{}{}
+	return true
+}
+
+// DegradedCount returns how many vertex lines parity errors have degraded
+// to the cache hierarchy.
+func (c *Controller) DegradedCount() int { return len(c.faulty) }
 
 // Home implements the partition unit: the scratchpad slice holding vertex.
 // Vertices are distributed in chunks of ChunkSize round-robin across
@@ -215,12 +243,14 @@ func (c *Controller) InvalidateSrcBufs() {
 	}
 }
 
-// Reset clears statistics and buffers (configuration is kept).
+// Reset clears statistics, buffers, and degraded lines (configuration is
+// kept): a Reset models a fresh run on repaired hardware.
 func (c *Controller) Reset() {
 	c.LocalAccesses.Reset()
 	c.RemoteAccesses.Reset()
 	c.SrcBufHits = stats.Ratio{}
 	c.ActiveBitSets.Reset()
+	c.faulty = nil
 	c.InvalidateSrcBufs()
 }
 
