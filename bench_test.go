@@ -10,6 +10,8 @@ package omega
 // finishes quickly; set -benchtime=1x for single runs.
 
 import (
+	"context"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -36,11 +38,17 @@ func lastNoteMetric(t *experiments.Table) (float64, bool) {
 	return 0, false
 }
 
-func runExperimentBench(b *testing.B, run func(experiments.Options) *experiments.Table, metric string) {
+// runExperimentBench resolves the runner from experiments.Registry() by
+// artifact ID, so the benchmark sweep can never drift from the suite.
+func runExperimentBench(b *testing.B, id string, metric string) {
 	b.Helper()
+	spec, ok := experiments.SpecByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
 	var tbl *experiments.Table
 	for i := 0; i < b.N; i++ {
-		tbl = run(benchOpts())
+		tbl = spec.Run(benchOpts())
 	}
 	if tbl == nil || len(tbl.Rows) == 0 {
 		b.Fatal("experiment produced no rows")
@@ -56,137 +64,175 @@ func runExperimentBench(b *testing.B, run func(experiments.Options) *experiments
 // --- Tables ---
 
 func BenchmarkTable1Datasets(b *testing.B) {
-	runExperimentBench(b, experiments.Table1, "")
+	runExperimentBench(b, "Table I", "")
 }
 
 func BenchmarkTable2Algorithms(b *testing.B) {
-	runExperimentBench(b, experiments.Table2, "")
+	runExperimentBench(b, "Table II", "")
 }
 
 func BenchmarkTable3Testbed(b *testing.B) {
-	runExperimentBench(b, experiments.Table3, "")
+	runExperimentBench(b, "Table III", "")
 }
 
 func BenchmarkTable4AreaPower(b *testing.B) {
-	runExperimentBench(b, experiments.Table4, "")
+	runExperimentBench(b, "Table IV", "")
 }
 
 // --- Figures ---
 
 func BenchmarkFigure3TMAM(b *testing.B) {
 	// Headline: average memory-bound % (paper ~71%).
-	runExperimentBench(b, experiments.Figure3, "mem-bound-%")
+	runExperimentBench(b, "Figure 3", "mem-bound-%")
 }
 
 func BenchmarkFigure4aHitRates(b *testing.B) {
-	runExperimentBench(b, experiments.Figure4a, "")
+	runExperimentBench(b, "Figure 4a", "")
 }
 
 func BenchmarkFigure4bTopAccess(b *testing.B) {
 	// Headline: paper says >75% of vtxProp accesses hit the top 20%.
-	runExperimentBench(b, experiments.Figure4b, "paper-threshold-%")
+	runExperimentBench(b, "Figure 4b", "paper-threshold-%")
 }
 
 func BenchmarkFigure5Heatmap(b *testing.B) {
-	runExperimentBench(b, experiments.Figure5, "")
+	runExperimentBench(b, "Figure 5", "")
 }
 
 func BenchmarkFigure14Speedup(b *testing.B) {
 	// Headline: geometric-mean OMEGA speedup (paper: 2x).
-	runExperimentBench(b, experiments.Figure14, "geomean-speedup")
+	runExperimentBench(b, "Figure 14", "geomean-speedup")
 }
 
 func BenchmarkFigure15HitRate(b *testing.B) {
-	runExperimentBench(b, experiments.Figure15, "")
+	runExperimentBench(b, "Figure 15", "")
 }
 
 func BenchmarkFigure16DRAMBandwidth(b *testing.B) {
 	// Headline: average utilization improvement (paper: 2.28x).
-	runExperimentBench(b, experiments.Figure16, "avg-improvement")
+	runExperimentBench(b, "Figure 16", "avg-improvement")
 }
 
 func BenchmarkFigure17OnChipTraffic(b *testing.B) {
 	// Headline: average traffic reduction (paper: ~3.2x).
-	runExperimentBench(b, experiments.Figure17, "avg-reduction")
+	runExperimentBench(b, "Figure 17", "avg-reduction")
 }
 
 func BenchmarkFigure18NonPowerLaw(b *testing.B) {
-	runExperimentBench(b, experiments.Figure18, "")
+	runExperimentBench(b, "Figure 18", "")
 }
 
 func BenchmarkFigure19SPSensitivity(b *testing.B) {
-	runExperimentBench(b, experiments.Figure19, "")
+	runExperimentBench(b, "Figure 19", "")
 }
 
 func BenchmarkFigure20LargeGraphs(b *testing.B) {
-	runExperimentBench(b, experiments.Figure20, "")
+	runExperimentBench(b, "Figure 20", "")
 }
 
 func BenchmarkFigure21Energy(b *testing.B) {
 	// Headline: average energy saving (paper: 2.5x).
-	runExperimentBench(b, experiments.Figure21, "avg-saving")
+	runExperimentBench(b, "Figure 21", "avg-saving")
 }
 
 // --- Ablations ---
 
 func BenchmarkAblationScratchpadOnly(b *testing.B) {
-	runExperimentBench(b, experiments.AblationScratchpadOnly, "")
+	runExperimentBench(b, "Ablation A1", "")
 }
 
 func BenchmarkAblationAtomicOverhead(b *testing.B) {
-	runExperimentBench(b, experiments.AblationAtomicOverhead, "")
+	runExperimentBench(b, "Ablation A2", "")
 }
 
 func BenchmarkAblationReordering(b *testing.B) {
-	runExperimentBench(b, experiments.AblationReordering, "")
+	runExperimentBench(b, "Ablation A3", "")
 }
 
 func BenchmarkAblationChunkMapping(b *testing.B) {
-	runExperimentBench(b, experiments.AblationChunkMapping, "")
+	runExperimentBench(b, "Ablation A4", "")
 }
 
 func BenchmarkAblationLockedCache(b *testing.B) {
-	runExperimentBench(b, experiments.AblationLockedCache, "")
+	runExperimentBench(b, "Ablation A5", "")
 }
 
 func BenchmarkAblationPrefetcher(b *testing.B) {
-	runExperimentBench(b, experiments.AblationPrefetcher, "")
+	runExperimentBench(b, "Ablation A6", "")
 }
 
 // --- Extensions (paper §VII / §IX future-work directions) ---
 
 func BenchmarkExtensionSlicing(b *testing.B) {
-	runExperimentBench(b, experiments.ExtensionSlicing, "")
+	runExperimentBench(b, "Extension E1", "")
 }
 
 func BenchmarkExtensionDynamicGraph(b *testing.B) {
-	runExperimentBench(b, experiments.ExtensionDynamicGraph, "")
+	runExperimentBench(b, "Extension E2", "")
 }
 
 func BenchmarkExtensionPagePolicy(b *testing.B) {
-	runExperimentBench(b, experiments.ExtensionPagePolicy, "")
+	runExperimentBench(b, "Extension E3", "")
 }
 
 func BenchmarkExtensionGraphMat(b *testing.B) {
-	runExperimentBench(b, experiments.ExtensionGraphMat, "")
+	runExperimentBench(b, "Extension E4", "")
 }
 
 func BenchmarkExtensionScaleRobustness(b *testing.B) {
-	runExperimentBench(b, experiments.ExtensionScaleRobustness, "")
+	runExperimentBench(b, "Extension E5", "")
 }
 
 func BenchmarkExtensionSeedSensitivity(b *testing.B) {
-	runExperimentBench(b, experiments.ExtensionSeedSensitivity, "")
+	runExperimentBench(b, "Extension E6", "")
 }
 
 func BenchmarkExtensionTraversalDirection(b *testing.B) {
-	runExperimentBench(b, experiments.ExtensionTraversalDirection, "")
+	runExperimentBench(b, "Extension E7", "")
 }
 
 // --- Resilience ---
 
 func BenchmarkResilienceInjection(b *testing.B) {
-	runExperimentBench(b, experiments.RunResilience, "speedup-under-faults")
+	runExperimentBench(b, "Resilience R1", "speedup-under-faults")
+}
+
+// --- Suite-level benchmarks (worker pool + shared dataset cache) ---
+
+// runSuiteBench measures a full-registry suite run at the given pool
+// size. Scale 11 keeps one iteration short enough to sweep.
+func runSuiteBench(b *testing.B, parallelism int) {
+	b.Helper()
+	var res *experiments.SuiteResult
+	for i := 0; i < b.N; i++ {
+		o := benchOpts()
+		o.Scale = 11
+		o.Parallelism = parallelism
+		res = experiments.Suite(context.Background(), experiments.Registry(), o, nil)
+		if failed := res.Failed(); failed != 0 {
+			b.Fatalf("%d experiments failed", failed)
+		}
+	}
+	if hits, misses := suiteCacheTotals(res); hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses)*100, "cache-hit-%")
+	}
+}
+
+// suiteCacheTotals sums the per-experiment cache telemetry.
+func suiteCacheTotals(res *experiments.SuiteResult) (hits, misses uint64) {
+	for _, te := range res.Telemetry {
+		hits += te.CacheHits
+		misses += te.CacheMisses
+	}
+	return hits, misses
+}
+
+func BenchmarkSuiteSequential(b *testing.B) {
+	runSuiteBench(b, 1)
+}
+
+func BenchmarkSuiteParallel(b *testing.B) {
+	runSuiteBench(b, runtime.GOMAXPROCS(0))
 }
 
 // --- Microbenchmarks of the primary building blocks ---

@@ -2,14 +2,22 @@
 // (DESIGN.md §4) and prints them as aligned text, optionally writing
 // TSV files per experiment.
 //
+// The suite runs on a bounded worker pool (-parallel, default GOMAXPROCS)
+// over a shared deterministic dataset cache, so independent experiments
+// overlap while graphs common to several runners are generated once.
+// Output ordering is unchanged from the sequential harness: tables are
+// flushed in registry order as soon as every earlier experiment has
+// finished, and live per-experiment progress goes to stderr.
+//
 // The suite is hardened: every runner executes under a watchdog timeout
 // with panic recovery, so one failing experiment reports a failed table
-// and the suite completes; Ctrl-C stops cleanly after the in-flight
-// experiment and still writes the partial artifacts collected so far.
+// and the suite completes; Ctrl-C abandons in-flight experiments, fails
+// the queued rest, and still prints and writes everything collected.
 //
 // Usage:
 //
-//	omega-bench                     # full suite at default scale
+//	omega-bench                     # full suite, parallelism = GOMAXPROCS
+//	omega-bench -parallel 1         # sequential (identical tables)
 //	omega-bench -scale 14           # closer-to-paper regime (slower)
 //	omega-bench -only "Figure 14"   # one experiment
 //	omega-bench -tsv results/       # also write TSV files
@@ -23,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -41,6 +50,7 @@ func run() error {
 		scale    = flag.Int("scale", 13, "log2 vertex count for generated datasets")
 		seed     = flag.Uint64("seed", 42, "generator seed")
 		coverage = flag.Float64("coverage", 0.20, "scratchpad coverage of vtxProp")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment worker pool size (1 = sequential)")
 		only     = flag.String("only", "", "run only experiments whose ID contains this substring")
 		tsvDir   = flag.String("tsv", "", "directory to write per-experiment TSV files")
 		chart    = flag.Int("chart", -1, "also render the given column as an ASCII bar chart")
@@ -50,56 +60,90 @@ func run() error {
 	)
 	flag.Parse()
 
-	// SIGINT cancels the suite: the in-flight experiment is abandoned,
-	// and everything collected so far is still printed and written.
+	// SIGINT cancels the suite: in-flight experiments are abandoned, the
+	// queued rest fail fast, and everything is still printed and written.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Coverage: *coverage}
-	start := time.Now()
-	ran, failed := 0, 0
-	var collected []*experiments.Table
+	var specs []experiments.Spec
 	for _, spec := range experiments.Registry() {
-		if *only != "" && !strings.Contains(spec.ID, *only) {
-			continue
-		}
-		if ctx.Err() != nil {
-			fmt.Fprintf(os.Stderr, "interrupted; emitting %d partial results\n", len(collected))
-			break
-		}
-		t0 := time.Now()
-		tbl := experiments.RunSafe(ctx, spec, opts, *timeout)
-		collected = append(collected, tbl)
-		fmt.Println(tbl.Format())
-		if tbl.Failed {
-			failed++
-		} else if *chart >= 0 {
-			fmt.Println(tbl.Chart(*chart, 40))
-		}
-		fmt.Printf("(%s in %v)\n\n", spec.ID, time.Since(t0).Round(time.Millisecond))
-		ran++
-		if *tsvDir != "" {
-			if err := writeArtifact(*tsvDir, spec.ID, ".tsv", []byte(tbl.TSV())); err != nil {
-				return err
-			}
-		}
-		if *jsonDir != "" {
-			data, err := tbl.JSON()
-			if err == nil {
-				err = writeArtifact(*jsonDir, spec.ID, ".json", data)
-			}
-			if err != nil {
-				return err
-			}
+		if *only == "" || strings.Contains(spec.ID, *only) {
+			specs = append(specs, spec)
 		}
 	}
+	if len(specs) == 0 {
+		return fmt.Errorf("no experiment ID contains %q", *only)
+	}
+
+	opts := experiments.Options{
+		Scale: *scale, Seed: *seed, Coverage: *coverage,
+		Parallelism: *parallel, Timeout: *timeout,
+	}
+	start := time.Now()
+
+	// Tables print in registry order while the pool completes them in
+	// whatever order it likes: each completion flushes the longest ready
+	// prefix. Suite serializes progress callbacks, so no locking here.
+	done := make([]*experiments.Table, len(specs))
+	printed, completed := 0, 0
+	var artifactErr error
+	flush := func() {
+		for printed < len(done) && done[printed] != nil {
+			tbl := done[printed]
+			fmt.Println(tbl.Format())
+			if !tbl.Failed && *chart >= 0 {
+				fmt.Println(tbl.Chart(*chart, 40))
+			}
+			if artifactErr == nil {
+				artifactErr = writeTableArtifacts(tbl, specs[printed].ID, *tsvDir, *jsonDir)
+			}
+			printed++
+		}
+	}
+	progress := func(ev experiments.SuiteEvent) {
+		completed++
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s done in %v\n",
+			completed, ev.Total, ev.ID, ev.Wall.Round(time.Millisecond))
+		done[ev.Index] = ev.Table
+		flush()
+	}
+
+	res := experiments.Suite(ctx, specs, opts, progress)
+	flush()
+	if artifactErr != nil {
+		return artifactErr
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "interrupted; results collected before cancellation were emitted\n")
+	}
+	fmt.Println(res.Summary.Format())
 	if *htmlPath != "" {
-		if err := writeHTML(*htmlPath, opts, start, collected); err != nil {
+		if err := writeHTML(*htmlPath, opts, start, append(res.Tables, res.Summary)); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *htmlPath)
 	}
-	fmt.Printf("ran %d experiments (%d failed) in %v\n", ran, failed, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("ran %d experiments (%d failed) in %v at parallelism %d\n",
+		len(res.Tables), res.Failed(), time.Since(start).Round(time.Millisecond), res.Parallelism)
+	return nil
+}
+
+// writeTableArtifacts stores the per-experiment TSV/JSON renderings.
+func writeTableArtifacts(tbl *experiments.Table, id, tsvDir, jsonDir string) error {
+	if tsvDir != "" {
+		if err := writeArtifact(tsvDir, id, ".tsv", []byte(tbl.TSV())); err != nil {
+			return err
+		}
+	}
+	if jsonDir != "" {
+		data, err := tbl.JSON()
+		if err == nil {
+			err = writeArtifact(jsonDir, id, ".json", data)
+		}
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

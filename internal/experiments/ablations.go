@@ -74,8 +74,7 @@ func AblationReordering(o Options) *Table {
 		Title:  "offline reordering on the baseline CMP, PageRank",
 		Header: []string{"ordering", "cycles", "speedup vs original"},
 	}
-	ds := mustDataset("rmat")
-	orig := ds.Build(o, false)
+	orig := rawDataset(mustDataset("rmat"), o, false)
 	var baseCycles uint64
 	for _, m := range []reorder.Method{
 		reorder.Identity, reorder.InDegree, reorder.OutDegree, reorder.SlashBurn,
@@ -183,19 +182,15 @@ func AblationPrefetcher(o Options) *Table {
 	return t
 }
 
-// RunAll executes every experiment in DESIGN.md §4 order.
+// RunAll executes every registered experiment sequentially in suite
+// order, with no watchdog or recovery — the raw runners, back to back.
+// Use Suite for the pooled, hardened execution path.
 func RunAll(o Options) []*Table {
 	o = o.Defaults()
-	return []*Table{
-		Table1(o), Table2(o), Table3(o), Table4(o),
-		Figure3(o), Figure4a(o), Figure4b(o), Figure5(o),
-		Figure14(o), Figure15(o), Figure16(o), Figure17(o),
-		Figure18(o), Figure19(o), Figure20(o), Figure21(o),
-		AblationScratchpadOnly(o), AblationAtomicOverhead(o),
-		AblationReordering(o), AblationChunkMapping(o),
-		AblationLockedCache(o), AblationPrefetcher(o),
-		ExtensionSlicing(o), ExtensionDynamicGraph(o), ExtensionPagePolicy(o),
-		ExtensionGraphMat(o), ExtensionScaleRobustness(o), ExtensionSeedSensitivity(o),
-		ExtensionTraversalDirection(o),
+	specs := Registry()
+	tables := make([]*Table, len(specs))
+	for i, spec := range specs {
+		tables[i] = spec.Run(o)
 	}
+	return tables
 }

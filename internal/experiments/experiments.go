@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"omega/internal/core"
 	"omega/internal/graph"
+	"omega/internal/graph/datasets"
 	"omega/internal/graph/gen"
 	"omega/internal/graph/reorder"
 )
@@ -27,9 +29,27 @@ type Options struct {
 	Seed uint64
 	// Coverage is the scratchpad sizing fraction (0.20 in the paper).
 	Coverage float64
+	// Parallelism bounds the Suite worker pool. Zero means GOMAXPROCS; 1
+	// forces sequential execution. Individual runners ignore it — an
+	// experiment is always one deterministic single-goroutine simulation.
+	Parallelism int
+	// Timeout is the per-experiment watchdog applied by Suite and the
+	// context-aware facade entry points. Zero disables the watchdog.
+	Timeout time.Duration
+	// Datasets memoizes graph construction across runners so experiments
+	// sharing a (generator, scale, seed, reorder) tuple build the graph
+	// once. Nil means every runner generates its graphs from scratch.
+	Datasets *datasets.Cache
+	// cacheStats, when set by Suite, receives this run's dataset-cache
+	// hit/miss counts so telemetry can attribute them per experiment.
+	cacheStats *datasets.Counters
 }
 
-// Defaults fills zero values.
+// Defaults fills zero values. The zero-value contract for the suite
+// fields is: Parallelism 0 = GOMAXPROCS (resolved by Suite, never stored
+// here so an explicit 1 stays distinguishable), Timeout 0 = no watchdog,
+// Datasets nil = no cross-runner caching — i.e. a zero Options behaves
+// exactly like the pre-Suite harness.
 func (o Options) Defaults() Options {
 	if o.Scale == 0 {
 		o.Scale = 13
@@ -267,13 +287,44 @@ type prepared struct {
 	g  *graph.Graph
 }
 
+// buildDataset generates one dataset variant, drawing from o.Datasets
+// when a cache is configured. Cached graphs are shared between runners
+// (possibly concurrently), which is safe because a built graph is never
+// mutated: the name is stamped inside the build so no writer touches a
+// graph after it enters the cache.
+func buildDataset(ds Dataset, o Options, weighted, reordered bool) *graph.Graph {
+	build := func() *graph.Graph {
+		g := ds.Build(o, weighted)
+		if reordered {
+			g = reorder.Apply(g, reorder.Compute(g, reorder.InDegree))
+		}
+		g.Name = ds.Name
+		return g
+	}
+	if o.Datasets == nil {
+		return build()
+	}
+	g, hit := o.Datasets.GetOrBuild(datasets.Key{
+		Kind:      ds.Name,
+		Scale:     o.Scale,
+		Seed:      o.Seed,
+		Weighted:  weighted,
+		Reordered: reordered,
+	}, build)
+	o.cacheStats.Record(hit)
+	return g
+}
+
 // prepareDataset builds and reorders a dataset (§VI: OMEGA's static
 // placement relies on in-degree ordering).
 func prepareDataset(ds Dataset, o Options, weighted bool) prepared {
-	g := ds.Build(o, weighted)
-	g = reorder.Apply(g, reorder.Compute(g, reorder.InDegree))
-	g.Name = ds.Name
-	return prepared{ds: ds, g: g}
+	return prepared{ds: ds, g: buildDataset(ds, o, weighted, true)}
+}
+
+// rawDataset builds a dataset without the in-degree reordering — for
+// runners that characterize or reorder the generator output themselves.
+func rawDataset(ds Dataset, o Options, weighted bool) *graph.Graph {
+	return buildDataset(ds, o, weighted, false)
 }
 
 // machinesFor builds the scaled baseline/OMEGA pair for a graph and

@@ -53,6 +53,16 @@ func Registry() []Spec {
 	}
 }
 
+// SpecByID resolves a registered experiment by its artifact ID.
+func SpecByID(id string) (Spec, bool) {
+	for _, s := range Registry() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
 // FailedTable builds the table the harness substitutes for a runner that
 // could not produce results: the suite keeps going and reports why.
 func FailedTable(id, reason string, diagnostics ...string) *Table {

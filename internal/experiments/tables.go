@@ -22,7 +22,7 @@ func Table1(o Options) *Table {
 			"in-deg con.%", "out-deg con.%", "power law"},
 	}
 	for _, ds := range StandardDatasets() {
-		g := ds.Build(o, false)
+		g := rawDataset(ds, o, false)
 		s := graph.ComputeDegreeStats(g)
 		typ := "dir."
 		if s.Undirected {

@@ -1,0 +1,163 @@
+package datasets
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"omega/internal/graph"
+)
+
+func tinyGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n, false)
+	for v := 0; v < n-1; v++ {
+		b.AddEdge(uint32(v), uint32(v+1), 1)
+	}
+	return b.Build("tiny")
+}
+
+func TestGetOrBuildMemoizes(t *testing.T) {
+	c := New()
+	var builds atomic.Int32
+	build := func() *graph.Graph {
+		builds.Add(1)
+		return tinyGraph(4)
+	}
+	k := Key{Kind: "rmat", Scale: 10, Seed: 42, Reordered: true}
+	g1, hit1 := c.GetOrBuild(k, build)
+	g2, hit2 := c.GetOrBuild(k, build)
+	if hit1 || !hit2 {
+		t.Fatalf("hit flags = %v, %v; want false, true", hit1, hit2)
+	}
+	if g1 != g2 {
+		t.Fatal("same key must share one graph instance")
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times, want 1", builds.Load())
+	}
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", h, m)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestGetOrBuildDistinctKeys(t *testing.T) {
+	c := New()
+	var builds atomic.Int32
+	build := func() *graph.Graph {
+		builds.Add(1)
+		return tinyGraph(3)
+	}
+	keys := []Key{
+		{Kind: "rmat", Scale: 10, Seed: 42},
+		{Kind: "rmat", Scale: 11, Seed: 42},
+		{Kind: "rmat", Scale: 10, Seed: 43},
+		{Kind: "social", Scale: 10, Seed: 42},
+		{Kind: "rmat", Scale: 10, Seed: 42, Weighted: true},
+		{Kind: "rmat", Scale: 10, Seed: 42, Reordered: true},
+	}
+	for _, k := range keys {
+		if _, hit := c.GetOrBuild(k, build); hit {
+			t.Fatalf("key %+v should miss", k)
+		}
+	}
+	if int(builds.Load()) != len(keys) {
+		t.Fatalf("builds = %d, want %d", builds.Load(), len(keys))
+	}
+}
+
+// TestGetOrBuildSingleflight checks that concurrent callers of one key
+// share a single build: everyone gets the same graph and the build
+// function runs exactly once.
+func TestGetOrBuildSingleflight(t *testing.T) {
+	c := New()
+	var builds atomic.Int32
+	release := make(chan struct{})
+	build := func() *graph.Graph {
+		builds.Add(1)
+		<-release // hold the build so the others pile up on the slot
+		return tinyGraph(5)
+	}
+	const callers = 16
+	got := make([]*graph.Graph, callers)
+	var started, wg sync.WaitGroup
+	started.Add(callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			g, _ := c.GetOrBuild(Key{Kind: "rmat", Scale: 9, Seed: 1}, build)
+			got[i] = g
+		}(i)
+	}
+	started.Wait()
+	close(release)
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times under contention, want 1", builds.Load())
+	}
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d got a different graph instance", i)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != callers-1 {
+		t.Fatalf("stats = %d hits / %d misses, want %d/1", hits, misses, callers-1)
+	}
+}
+
+func TestNilCacheBuildsFresh(t *testing.T) {
+	var c *Cache
+	var builds atomic.Int32
+	build := func() *graph.Graph {
+		builds.Add(1)
+		return tinyGraph(2)
+	}
+	k := Key{Kind: "rmat"}
+	c.GetOrBuild(k, build)
+	c.GetOrBuild(k, build)
+	if builds.Load() != 2 {
+		t.Fatalf("nil cache must build every time: %d builds", builds.Load())
+	}
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("nil cache stats = %d/%d, want 0/0", h, m)
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache has no entries")
+	}
+}
+
+// TestPanicReplays checks that a panicking build is replayed to every
+// caller of the key instead of handing out a nil graph.
+func TestPanicReplays(t *testing.T) {
+	c := New()
+	k := Key{Kind: "bad"}
+	boom := func() *graph.Graph { panic("generator bug") }
+	for i := 0; i < 2; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != "generator bug" {
+					t.Fatalf("call %d: recovered %v, want generator bug", i, r)
+				}
+			}()
+			c.GetOrBuild(k, boom)
+			t.Fatalf("call %d: should have panicked", i)
+		}()
+	}
+}
+
+func TestCountersNilSafe(t *testing.T) {
+	var c *Counters
+	c.Record(true) // must not panic
+	rec := &Counters{}
+	rec.Record(true)
+	rec.Record(false)
+	rec.Record(false)
+	if rec.Hits.Load() != 1 || rec.Misses.Load() != 2 {
+		t.Fatalf("counters = %d/%d, want 1/2", rec.Hits.Load(), rec.Misses.Load())
+	}
+}

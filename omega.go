@@ -21,6 +21,7 @@
 package omega
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,6 +29,7 @@ import (
 	"omega/internal/core"
 	"omega/internal/experiments"
 	"omega/internal/graph"
+	"omega/internal/graph/datasets"
 	"omega/internal/graph/gen"
 	"omega/internal/graph/gio"
 	"omega/internal/graph/reorder"
@@ -61,7 +63,13 @@ type (
 	ExperimentTable = experiments.Table
 	// ExperimentOptions configures the experiment harness.
 	ExperimentOptions = experiments.Options
+	// DatasetCache memoizes deterministic graph construction; share one
+	// via ExperimentOptions.Datasets to amortize generation across runs.
+	DatasetCache = datasets.Cache
 )
+
+// NewDatasetCache returns an empty dataset cache.
+func NewDatasetCache() *DatasetCache { return datasets.New() }
 
 // RMAT generates a power-law R-MAT graph with 2^scale vertices.
 func RMAT(scale int, seed uint64) *Graph {
@@ -174,55 +182,45 @@ func Compare(algorithm string, g *Graph, coverage float64) (Comparison, error) {
 }
 
 // RunExperiment regenerates one paper artifact by ID ("Table I",
-// "Figure 14", "Ablation A1", ...). See DESIGN.md §4 for the index.
+// "Figure 14", "Ablation A1", ...). See DESIGN.md §4 for the index. It is
+// a convenience wrapper over RunExperimentContext with a background
+// context.
 func RunExperiment(id string, opts ExperimentOptions) (*ExperimentTable, error) {
-	runners := map[string]func(experiments.Options) *experiments.Table{
-		"Table I":      experiments.Table1,
-		"Table II":     experiments.Table2,
-		"Table III":    experiments.Table3,
-		"Table IV":     experiments.Table4,
-		"Figure 3":     experiments.Figure3,
-		"Figure 4a":    experiments.Figure4a,
-		"Figure 4b":    experiments.Figure4b,
-		"Figure 5":     experiments.Figure5,
-		"Figure 14":    experiments.Figure14,
-		"Figure 15":    experiments.Figure15,
-		"Figure 16":    experiments.Figure16,
-		"Figure 17":    experiments.Figure17,
-		"Figure 18":    experiments.Figure18,
-		"Figure 19":    experiments.Figure19,
-		"Figure 20":    experiments.Figure20,
-		"Figure 21":    experiments.Figure21,
-		"Ablation A1":  experiments.AblationScratchpadOnly,
-		"Ablation A2":  experiments.AblationAtomicOverhead,
-		"Ablation A3":  experiments.AblationReordering,
-		"Ablation A4":  experiments.AblationChunkMapping,
-		"Ablation A5":  experiments.AblationLockedCache,
-		"Ablation A6":  experiments.AblationPrefetcher,
-		"Extension E1": experiments.ExtensionSlicing,
-		"Extension E2": experiments.ExtensionDynamicGraph,
-		"Extension E3": experiments.ExtensionPagePolicy,
-		"Extension E4": experiments.ExtensionGraphMat,
-		"Extension E5": experiments.ExtensionScaleRobustness,
-		"Extension E6": experiments.ExtensionSeedSensitivity,
-		"Extension E7": experiments.ExtensionTraversalDirection,
-	}
-	run, ok := runners[id]
+	return RunExperimentContext(context.Background(), id, opts)
+}
+
+// RunExperimentContext regenerates one paper artifact by ID under ctx:
+// the runner executes with panic recovery and, when opts.Timeout is set,
+// a watchdog, so a broken experiment returns a Failed table rather than
+// tearing the caller down. The ID set is experiments.Registry() — the
+// same single source that drives ExperimentIDs, RunSuite, and
+// cmd/omega-bench — so the facade cannot drift from the registry.
+func RunExperimentContext(ctx context.Context, id string, opts ExperimentOptions) (*ExperimentTable, error) {
+	spec, ok := experiments.SpecByID(id)
 	if !ok {
 		return nil, fmt.Errorf("omega: unknown experiment %q", id)
 	}
-	return run(opts), nil
+	return experiments.RunSafe(ctx, spec, opts, opts.Timeout), nil
 }
 
-// ExperimentIDs lists the runnable experiment IDs in DESIGN.md §4 order.
+// RunSuite regenerates every registered artifact across a bounded worker
+// pool (opts.Parallelism; zero = GOMAXPROCS) with a shared deterministic
+// dataset cache, returning the tables in registry order plus a telemetry
+// summary table (per-experiment wall time, cache hits/misses, peak
+// goroutines). Parallel, sequential, and cached runs produce identical
+// experiment tables; only the summary varies with timing.
+func RunSuite(ctx context.Context, opts ExperimentOptions) ([]*ExperimentTable, *ExperimentTable) {
+	res := experiments.Suite(ctx, experiments.Registry(), opts, nil)
+	return res.Tables, res.Summary
+}
+
+// ExperimentIDs lists the runnable experiment IDs in DESIGN.md §4 order,
+// derived from experiments.Registry().
 func ExperimentIDs() []string {
-	return []string{
-		"Table I", "Table II", "Table III", "Table IV",
-		"Figure 3", "Figure 4a", "Figure 4b", "Figure 5",
-		"Figure 14", "Figure 15", "Figure 16", "Figure 17",
-		"Figure 18", "Figure 19", "Figure 20", "Figure 21",
-		"Ablation A1", "Ablation A2", "Ablation A3", "Ablation A4",
-		"Ablation A5", "Ablation A6", "Extension E1", "Extension E2", "Extension E3",
-		"Extension E4", "Extension E5", "Extension E6", "Extension E7",
+	specs := experiments.Registry()
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.ID
 	}
+	return ids
 }

@@ -1,8 +1,12 @@
 package omega
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
+
+	"omega/internal/experiments"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -93,18 +97,75 @@ func TestRunExperimentResolvesAllIDs(t *testing.T) {
 	if _, err := RunExperiment("Figure 99", ExperimentOptions{}); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
-	if len(ExperimentIDs()) != 29 {
-		t.Fatalf("expected 29 experiment IDs, got %d", len(ExperimentIDs()))
+	if len(ExperimentIDs()) != 30 {
+		t.Fatalf("expected 30 experiment IDs, got %d", len(ExperimentIDs()))
 	}
-	for _, id := range ExperimentIDs() {
-		if _, err := RunExperiment(id, ExperimentOptions{Scale: 8}); err != nil {
-			// Only resolve-check heavy ones by name; they should never
-			// be unknown.
-			if strings.Contains(err.Error(), "unknown") {
-				t.Fatalf("ID %q not wired", id)
-			}
+}
+
+// TestFacadeRegistryParity pins the facade to experiments.Registry():
+// the ID list is the registry, in order, with no omissions (the
+// hand-maintained map this replaced had already dropped Resilience R1)
+// and every registered ID resolves through RunExperimentContext.
+func TestFacadeRegistryParity(t *testing.T) {
+	specs := experiments.Registry()
+	ids := ExperimentIDs()
+	if len(ids) != len(specs) {
+		t.Fatalf("facade lists %d IDs, registry has %d", len(ids), len(specs))
+	}
+	for i, spec := range specs {
+		if ids[i] != spec.ID {
+			t.Fatalf("ID %d = %q, facade says %q", i, spec.ID, ids[i])
 		}
-		break // full runs are exercised in bench_test.go
+	}
+	found := false
+	for _, id := range ids {
+		if id == "Resilience R1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Resilience R1 missing from the facade ID list")
+	}
+	// The context-aware entry point must honor ctx and the watchdog: a
+	// cancelled context yields a Failed table, a live one a real result.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	tbl, err := RunExperimentContext(cancelled, "Table III", ExperimentOptions{Scale: 8})
+	if err != nil || !tbl.Failed {
+		t.Fatalf("cancelled run: table %+v, err %v; want a Failed table", tbl, err)
+	}
+	tbl, err = RunExperimentContext(context.Background(), "Table IV",
+		ExperimentOptions{Scale: 8, Timeout: time.Minute})
+	if err != nil || tbl.Failed || len(tbl.Rows) == 0 {
+		t.Fatalf("live run: table %+v, err %v; want rows", tbl, err)
+	}
+}
+
+// TestRunSuiteFacade runs the full parallel suite through the facade and
+// checks it matches the sequential per-experiment path table for table.
+func TestRunSuiteFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite skipped in -short mode")
+	}
+	opts := ExperimentOptions{Scale: 10, Parallelism: 4, Datasets: NewDatasetCache()}
+	tables, summary := RunSuite(context.Background(), opts)
+	if len(tables) != len(ExperimentIDs()) {
+		t.Fatalf("suite returned %d tables, want %d", len(tables), len(ExperimentIDs()))
+	}
+	if summary == nil || len(summary.Rows) != len(tables) {
+		t.Fatal("telemetry summary must carry one row per experiment")
+	}
+	for i, id := range ExperimentIDs() {
+		if tables[i].Failed {
+			t.Fatalf("%s failed: %s", id, tables[i].Title)
+		}
+		seq, err := RunExperiment(id, ExperimentOptions{Scale: 10, Datasets: opts.Datasets})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if seq.Format() != tables[i].Format() {
+			t.Fatalf("%s: parallel suite table differs from sequential facade run", id)
+		}
 	}
 }
 
