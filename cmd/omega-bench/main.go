@@ -22,6 +22,8 @@
 //	omega-bench -only "Figure 14"   # one experiment
 //	omega-bench -tsv results/       # also write TSV files
 //	omega-bench -timeout 2m         # per-experiment watchdog
+//	omega-bench -cpuprofile cpu.out # profile the suite (go tool pprof)
+//	omega-bench -memprofile mem.out # end-of-suite heap profile
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -57,8 +60,36 @@ func run() error {
 		jsonDir  = flag.String("json", "", "directory to write per-experiment JSON files")
 		htmlPath = flag.String("html", "", "write a self-contained HTML report")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-experiment watchdog timeout (0 disables)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
+		memProf  = flag.String("memprofile", "", "write an end-of-suite heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "omega-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "omega-bench: memprofile:", err)
+			}
+		}()
+	}
 
 	// SIGINT cancels the suite: in-flight experiments are abandoned, the
 	// queued rest fail fast, and everything is still printed and written.

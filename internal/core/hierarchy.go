@@ -92,7 +92,7 @@ func (p *cachePath) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
 	l1 := p.l1[a.Core]
 
 	var lat memsys.Cycles
-	level := "L1"
+	level := memsys.LevelL1
 	if l1.Access(line, write) {
 		lat = p.l1HitLat
 		if write && !p.dir.IsModifiedBy(line, a.Core) {
@@ -107,7 +107,7 @@ func (p *cachePath) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
 		}
 	} else {
 		lat = p.miss(now, a.Core, line, write, a.Kind == memsys.KindVtxProp)
-		level = "L2+"
+		level = memsys.LevelL2Plus
 		// Fill L1 and handle its victim.
 		p.fillL1(now, a.Core, line, write)
 		if p.cfg.L1Prefetch &&
@@ -119,7 +119,7 @@ func (p *cachePath) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
 		lat += p.cfg.AtomicOpCycles
 	}
 	blocking := atomic || a.Dependent
-	return memsys.Result{Latency: lat, Blocking: blocking, LevelName: level}
+	return memsys.Result{Latency: lat, Blocking: blocking, Level: level}
 }
 
 // miss brings line toward the requesting core, returning the latency from
@@ -222,6 +222,10 @@ func (p *cachePath) pollute(bank int) {
 func (p *cachePath) evictFromL2(now memsys.Cycles, bank int, victim cache.EvictedLine) {
 	global := p.l2Global(victim.Addr, bank)
 	dirty := victim.Dirty
+	// Note: the directory's sharer mask cannot shortcut this probe loop.
+	// AcquireExclusive clears other cores' sharer bits without removing
+	// their (now stale) L1 copies, so L1 contents are a superset of the
+	// mask and every core must be probed.
 	for c := 0; c < p.cfg.NumCores; c++ {
 		if present, l1dirty := p.l1[c].Invalidate(global); present {
 			p.noc.Send(now, bank, c, 0, noc.ClassCtrl)

@@ -30,18 +30,47 @@ type Machine struct {
 	nextAddr memsys.Addr
 	regions  []*Region
 
-	accessesByKind [4]stats.Counter
+	accessesByKind [memsys.NumKinds]stats.Counter
 	atomicsIssued  stats.Counter
 	srcReads       stats.Counter
 	vertexProfile  []uint64
 	iterations     stats.Counter
 
 	// levelCount/levelLatency break accesses down by the hierarchy level
-	// that served them (diagnostics and the Figure 3/15 analyses).
-	levelCount   map[string]uint64
-	levelLatency map[string]uint64
+	// that served them (diagnostics and the Figure 3/15 analyses). They
+	// are dense arrays indexed by (level, atomic-op bit) — see levelIndex —
+	// so the per-access bookkeeping is branch-light and allocation-free;
+	// LevelProfile materializes the string-keyed view on demand.
+	levelCount   [2 * memsys.NumLevels]uint64
+	levelLatency [2 * memsys.NumLevels]uint64
+
+	// sched is the ParallelForGrain scratch state (chunk cursors, per-core
+	// contexts, the clock-ordered core heap), reused across parallel
+	// regions so scheduling allocates nothing in steady state.
+	sched schedState
+	// seqCtx is the reusable core-0 context handed to Sequential bodies.
+	seqCtx Ctx
 
 	tracer Tracer
+}
+
+// schedState is the reusable scratch of ParallelForGrain. busy guards
+// against a body re-entering ParallelFor: the rare nested region falls
+// back to fresh state instead of corrupting the outer one.
+type schedState struct {
+	nextChunk   []int
+	itemInChunk []int
+	ctxs        []Ctx
+	heap        coreHeap
+	busy        bool
+}
+
+// levelIndex flattens (level, atomic?) into the profile array index.
+func levelIndex(l memsys.Level, atomic bool) int {
+	if atomic {
+		return int(l) + int(memsys.NumLevels)
+	}
+	return int(l)
 }
 
 // Tracer receives every simulated access with its timing outcome; see
@@ -69,10 +98,8 @@ func NewMachineChecked(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:          cfg,
-		nextAddr:     pageSize,
-		levelCount:   make(map[string]uint64),
-		levelLatency: make(map[string]uint64),
+		cfg:      cfg,
+		nextAddr: pageSize,
 	}
 	m.xbar = noc.New(noc.Config{
 		Ports:          cfg.NumCores,
@@ -245,27 +272,36 @@ func (c *Ctx) access(r *Region, i int, op memsys.Op, srcRead, dependent bool) {
 	if c.m.tracer != nil {
 		c.m.tracer.Record(core.Clock(), a, res)
 	}
-	name := res.LevelName
-	if op == memsys.OpAtomic {
-		name = "atomic:" + name
-	}
-	c.m.levelCount[name]++
-	c.m.levelLatency[name] += uint64(res.Latency)
+	li := levelIndex(res.Level, op == memsys.OpAtomic)
+	c.m.levelCount[li]++
+	c.m.levelLatency[li] += uint64(res.Latency)
 	core.Mem(res)
 }
 
 // SetTracer installs an access tracer (nil disables tracing).
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
 
-// LevelProfile returns per-level access counts and summed latencies.
+// LevelProfile returns per-level access counts and summed latencies, keyed
+// by the level name ("L1", "SP-local", ...) with atomics reported
+// separately under an "atomic:" prefix ("atomic:PISC", ...). The maps are
+// materialized here from the dense per-level arrays the access path
+// maintains; only levels that served at least one access appear.
 func (m *Machine) LevelProfile() (counts, latencies map[string]uint64) {
 	counts = make(map[string]uint64, len(m.levelCount))
 	latencies = make(map[string]uint64, len(m.levelLatency))
-	for k, v := range m.levelCount {
-		counts[k] = v
-	}
-	for k, v := range m.levelLatency {
-		latencies[k] = v
+	for l := memsys.Level(0); l < memsys.NumLevels; l++ {
+		for _, atomic := range [2]bool{false, true} {
+			i := levelIndex(l, atomic)
+			if m.levelCount[i] == 0 {
+				continue
+			}
+			name := l.String()
+			if atomic {
+				name = "atomic:" + name
+			}
+			counts[name] = m.levelCount[i]
+			latencies[name] = m.levelLatency[i]
+		}
 	}
 	return
 }
@@ -307,6 +343,16 @@ func (m *Machine) ParallelFor(n int, body func(ctx *Ctx, i int)) {
 }
 
 // ParallelForGrain is ParallelFor with an explicit chunk size.
+//
+// Scheduling interleaves at item granularity: the lowest-clock core with
+// work runs one item, which keeps core clocks tightly coupled so
+// shared-resource (DRAM/NoC) arrival order stays realistic. Core selection
+// uses a (clock, id)-ordered indexed min-heap — O(log p) per item instead
+// of an O(p) scan — and chunks are claimed eagerly the moment a core goes
+// idle. Both transformations preserve the exact item interleaving of the
+// original per-item scan: the heap minimum equals the scan's
+// lowest-clock/lowest-id pick, and at most one core goes idle per item, so
+// the eager claim hands out the same chunk the next scan would have.
 func (m *Machine) ParallelForGrain(n, chunk int, body func(ctx *Ctx, i int)) {
 	if n <= 0 {
 		return
@@ -316,70 +362,86 @@ func (m *Machine) ParallelForGrain(n, chunk int, body func(ctx *Ctx, i int)) {
 	}
 	p := m.cfg.NumCores
 	numChunks := (n + chunk - 1) / chunk
-	// nextChunk[c] is the next chunk index owned by core c under static
-	// scheduling (OpenMP schedule(static, chunk)); under dynamic
-	// scheduling chunks are taken from a shared counter when a core goes
-	// idle (Ligra-style work stealing).
-	nextChunk := make([]int, p)
-	for c := range nextChunk {
-		if m.cfg.DynamicSchedule {
-			nextChunk[c] = -1 // not yet claimed
-		} else {
-			nextChunk[c] = c
-		}
-	}
+	s := m.acquireSched(p)
+	defer m.releaseSched(s)
+
+	// nextChunk[c] is the next chunk index owned by core c: OpenMP
+	// schedule(static, chunk) hands core c chunks c, c+p, c+2p, ...;
+	// dynamic scheduling takes chunks from a shared counter when a core
+	// goes idle (Ligra-style work stealing).
 	dynNext := 0
-	ctxs := make([]Ctx, p)
-	for c := range ctxs {
-		ctxs[c] = Ctx{m: m, core: c}
+	for c := 0; c < p; c++ {
+		s.itemInChunk[c] = 0
+		if c >= numChunks {
+			continue
+		}
+		s.nextChunk[c] = c
+		s.heap.push(c)
 	}
-	// Scheduling interleaves at item granularity: the lowest-clock core
-	// with work runs one item, which keeps core clocks tightly coupled so
-	// shared-resource (DRAM/NoC) arrival order stays realistic.
-	itemInChunk := make([]int, p)
-	for {
-		sel := -1
-		for c := 0; c < p; c++ {
-			if m.cfg.DynamicSchedule && nextChunk[c] < 0 {
-				if dynNext >= numChunks {
-					continue
+	if m.cfg.DynamicSchedule {
+		dynNext = min(p, numChunks)
+	}
+	for !s.heap.empty() {
+		sel := s.heap.min()
+		k := s.nextChunk[sel]
+		i := k*chunk + s.itemInChunk[sel]
+		if i < n {
+			body(&s.ctxs[sel], i)
+		}
+		s.itemInChunk[sel]++
+		if s.itemInChunk[sel] >= chunk || i+1 >= n {
+			s.itemInChunk[sel] = 0
+			next := numChunks
+			if m.cfg.DynamicSchedule {
+				if dynNext < numChunks {
+					next = dynNext
+					dynNext++
 				}
-				nextChunk[c] = dynNext
-				dynNext++
+			} else {
+				next = k + p
 			}
-			if nextChunk[c] >= numChunks {
+			if next >= numChunks {
+				s.heap.pop()
 				continue
 			}
-			if sel < 0 || m.cores[c].Clock() < m.cores[sel].Clock() {
-				sel = c
-			}
+			s.nextChunk[sel] = next
 		}
-		if sel < 0 {
-			break
-		}
-		k := nextChunk[sel]
-		i := k*chunk + itemInChunk[sel]
-		if i < n {
-			body(&ctxs[sel], i)
-		}
-		itemInChunk[sel]++
-		if itemInChunk[sel] >= chunk || i+1 >= n {
-			itemInChunk[sel] = 0
-			if m.cfg.DynamicSchedule {
-				nextChunk[sel] = -1
-			} else {
-				nextChunk[sel] = k + p
-			}
-		}
+		// Only the selected core's clock advanced; re-seat it.
+		s.heap.fixMin()
 	}
 	m.Barrier()
 }
 
+// acquireSched hands out the machine's scheduling scratch, sized for p
+// cores, or fresh state if a nested parallel region already holds it.
+func (m *Machine) acquireSched(p int) *schedState {
+	s := &m.sched
+	if s.busy {
+		s = &schedState{}
+	}
+	s.busy = true
+	if cap(s.nextChunk) < p {
+		s.nextChunk = make([]int, p)
+		s.itemInChunk = make([]int, p)
+		s.ctxs = make([]Ctx, p)
+		for c := range s.ctxs {
+			s.ctxs[c] = Ctx{m: m, core: c}
+		}
+	}
+	s.nextChunk = s.nextChunk[:p]
+	s.itemInChunk = s.itemInChunk[:p]
+	s.ctxs = s.ctxs[:p]
+	s.heap.reset(m.cores)
+	return s
+}
+
+func (m *Machine) releaseSched(s *schedState) { s.busy = false }
+
 // Sequential runs body on core 0 (the paper's framework executes
 // inter-region glue on one thread), then synchronizes all cores.
 func (m *Machine) Sequential(body func(ctx *Ctx)) {
-	ctx := &Ctx{m: m, core: 0}
-	body(ctx)
+	m.seqCtx = Ctx{m: m, core: 0}
+	body(&m.seqCtx)
 	m.Barrier()
 }
 

@@ -184,8 +184,8 @@ func (m *Machine) Reset() {
 	m.atomicsIssued.Reset()
 	m.srcReads.Reset()
 	m.iterations.Reset()
-	m.levelCount = make(map[string]uint64)
-	m.levelLatency = make(map[string]uint64)
+	m.levelCount = [2 * memsys.NumLevels]uint64{}
+	m.levelLatency = [2 * memsys.NumLevels]uint64{}
 	if m.vertexProfile != nil {
 		for i := range m.vertexProfile {
 			m.vertexProfile[i] = 0

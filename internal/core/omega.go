@@ -86,7 +86,7 @@ func (h *omegaHier) degrade(now memsys.Cycles, a memsys.Access, v uint32, penalt
 	}
 	res := h.cachePath.Access(now, a)
 	res.Latency += penalty
-	res.LevelName = "SP-degraded"
+	res.Level = memsys.LevelSPDegraded
 	return res
 }
 
@@ -115,7 +115,7 @@ func (h *omegaHier) spAccess(now memsys.Cycles, a memsys.Access, v uint32) memsy
 				sendLat = h.xbar.Send(now, a.Core, home, size, noc.ClassWord)
 			}
 			stall, _ := h.engines[home].Offload(now + sendLat)
-			return memsys.Result{Latency: stall, Offloaded: true, LevelName: "PISC"}
+			return memsys.Result{Latency: stall, Offloaded: true, Level: memsys.LevelPISC}
 		}
 		// Scratchpads without PISC (§X.A ablation): the core performs
 		// the read-modify-write itself. The controller locks only the
@@ -131,24 +131,24 @@ func (h *omegaHier) spAccess(now memsys.Cycles, a memsys.Access, v uint32) memsy
 			lat = rt + spLat + 2
 			h.xbar.Send(now+lat, a.Core, home, size, noc.ClassWord)
 		}
-		return memsys.Result{Latency: lat, Blocking: true, LevelName: "SP-atomic"}
+		return memsys.Result{Latency: lat, Blocking: true, Level: memsys.LevelSPAtomic}
 
 	case memsys.OpRead:
 		if a.SrcRead && h.cfg.SrcBufEntries > 0 {
 			if h.ctrl.SrcBufLookup(a.Core, v) {
-				return memsys.Result{Latency: 1, LevelName: "SrcBuf"}
+				return memsys.Result{Latency: 1, Level: memsys.LevelSrcBuf}
 			}
 		}
 		if local {
 			return memsys.Result{
-				Latency:   spLat,
-				Blocking:  a.Dependent,
-				LevelName: "SP-local",
+				Latency:  spLat,
+				Blocking: a.Dependent,
+				Level:    memsys.LevelSPLocal,
 			}
 		}
 		h.remoteReads.Inc()
 		lat := h.xbar.RoundTrip(now, a.Core, home, 0, size, noc.ClassWord) + spLat
-		return memsys.Result{Latency: lat, Blocking: a.Dependent, LevelName: "SP-remote"}
+		return memsys.Result{Latency: lat, Blocking: a.Dependent, Level: memsys.LevelSPRemote}
 
 	default: // OpWrite
 		return h.spWrite(now, a.Core, home, local, size, spLat)
@@ -159,10 +159,10 @@ func (h *omegaHier) spAccess(now memsys.Cycles, a memsys.Access, v uint32) memsy
 func (h *omegaHier) spWrite(now memsys.Cycles, core, home int, local bool, size int, spLat memsys.Cycles) memsys.Result {
 	if local {
 		h.xbar.Send(now, core, home, size, noc.ClassWord)
-		return memsys.Result{Latency: spLat, LevelName: "SP-local"}
+		return memsys.Result{Latency: spLat, Level: memsys.LevelSPLocal}
 	}
 	lat := h.xbar.Send(now, core, home, size, noc.ClassWord) + spLat
-	return memsys.Result{Latency: lat, LevelName: "SP-remote"}
+	return memsys.Result{Latency: lat, Level: memsys.LevelSPRemote}
 }
 
 // configure loads monitor registers and microcode.

@@ -1,0 +1,104 @@
+package core
+
+import "omega/internal/cpu"
+
+// coreHeap is an indexed binary min-heap of core IDs ordered by
+// (local clock, core ID). ParallelForGrain uses it to pick the next core
+// to run in O(log p) instead of scanning all cores per work item.
+//
+// The (clock, id) key is a total order (IDs are unique), so the heap
+// minimum is exactly the core a full scan with a strict less-than and
+// first-seen tiebreak would select — the item interleaving, and therefore
+// every simulated arrival order, is bit-identical to the scan.
+//
+// Only the just-run core's clock ever changes between selections (the body
+// advances no other core), so one sift-down of the root per item restores
+// the invariant.
+type coreHeap struct {
+	cores []*cpu.Core
+	ids   []int32 // heap slots holding core IDs
+	pos   []int32 // core ID -> heap slot, -1 when not queued
+}
+
+// reset prepares the heap for a machine's cores, reusing prior storage.
+func (h *coreHeap) reset(cores []*cpu.Core) {
+	h.cores = cores
+	h.ids = h.ids[:0]
+	if cap(h.pos) < len(cores) {
+		h.pos = make([]int32, len(cores))
+	}
+	h.pos = h.pos[:len(cores)]
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+}
+
+func (h *coreHeap) empty() bool { return len(h.ids) == 0 }
+
+// min returns the queued core with the lowest (clock, id) key.
+func (h *coreHeap) min() int { return int(h.ids[0]) }
+
+func (h *coreHeap) less(a, b int32) bool {
+	ca, cb := h.cores[a].Clock(), h.cores[b].Clock()
+	if ca != cb {
+		return ca < cb
+	}
+	return a < b
+}
+
+// push queues a core.
+func (h *coreHeap) push(id int) {
+	h.ids = append(h.ids, int32(id))
+	h.pos[id] = int32(len(h.ids) - 1)
+	h.up(len(h.ids) - 1)
+}
+
+// pop removes the minimum core.
+func (h *coreHeap) pop() {
+	last := len(h.ids) - 1
+	h.swap(0, last)
+	h.pos[h.ids[last]] = -1
+	h.ids = h.ids[:last]
+	if last > 0 {
+		h.down(0)
+	}
+}
+
+// fixMin restores the invariant after the root core's clock advanced.
+func (h *coreHeap) fixMin() { h.down(0) }
+
+func (h *coreHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *coreHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.ids[i], h.ids[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *coreHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		child := l
+		if r := l + 1; r < n && h.less(h.ids[r], h.ids[l]) {
+			child = r
+		}
+		if !h.less(h.ids[child], h.ids[i]) {
+			return
+		}
+		h.swap(i, child)
+		i = child
+	}
+}

@@ -8,7 +8,9 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -223,11 +225,11 @@ func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
 // Dedup removes duplicate (src,dst) pairs, keeping the first weight, and
 // removes self-loops. Useful for synthetic generators.
 func (b *Builder) Dedup() {
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].Src != b.edges[j].Src {
-			return b.edges[i].Src < b.edges[j].Src
+	slices.SortFunc(b.edges, func(x, y Edge) int {
+		if x.Src != y.Src {
+			return cmp.Compare(x.Src, y.Src)
 		}
-		return b.edges[i].Dst < b.edges[j].Dst
+		return cmp.Compare(x.Dst, y.Dst)
 	})
 	out := b.edges[:0]
 	var last Edge
@@ -270,11 +272,11 @@ func (b *Builder) Build(name string) *Graph {
 		g.InOffsets[v+1] += g.InOffsets[v]
 	}
 	// Fill, sorted by (src, dst) for out and (dst, src) for in.
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].Src != b.edges[j].Src {
-			return b.edges[i].Src < b.edges[j].Src
+	slices.SortFunc(b.edges, func(x, y Edge) int {
+		if x.Src != y.Src {
+			return cmp.Compare(x.Src, y.Src)
 		}
-		return b.edges[i].Dst < b.edges[j].Dst
+		return cmp.Compare(x.Dst, y.Dst)
 	})
 	outPos := make([]uint64, b.n)
 	for _, e := range b.edges {
@@ -285,11 +287,11 @@ func (b *Builder) Build(name string) *Graph {
 		}
 		outPos[e.Src]++
 	}
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].Dst != b.edges[j].Dst {
-			return b.edges[i].Dst < b.edges[j].Dst
+	slices.SortFunc(b.edges, func(x, y Edge) int {
+		if x.Dst != y.Dst {
+			return cmp.Compare(x.Dst, y.Dst)
 		}
-		return b.edges[i].Src < b.edges[j].Src
+		return cmp.Compare(x.Src, y.Src)
 	})
 	inPos := make([]uint64, b.n)
 	for _, e := range b.edges {

@@ -9,7 +9,8 @@
 package reorder
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"omega/internal/graph"
 )
@@ -111,8 +112,8 @@ func byDegree(n int, deg func(graph.VertexID) int) Permutation {
 	for v := range order {
 		order[v] = graph.VertexID(v)
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		return deg(order[i]) > deg(order[j])
+	slices.SortStableFunc(order, func(x, y graph.VertexID) int {
+		return cmp.Compare(deg(y), deg(x))
 	})
 	p := make(Permutation, n)
 	for rank, old := range order {
@@ -233,11 +234,11 @@ func slashBurn(g *graph.Graph) Permutation {
 				live = append(live, vd{graph.VertexID(v), deg[v]})
 			}
 		}
-		sort.Slice(live, func(i, j int) bool {
-			if live[i].d != live[j].d {
-				return live[i].d > live[j].d
+		slices.SortFunc(live, func(x, y vd) int {
+			if x.d != y.d {
+				return cmp.Compare(y.d, x.d)
 			}
-			return live[i].v < live[j].v
+			return cmp.Compare(x.v, y.v)
 		})
 		take := hubsPerRound
 		if take > len(live) {

@@ -1,6 +1,9 @@
 package graph
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // DegreeStats summarizes a graph's degree structure the way Table I of the
 // paper does: the in-degree/out-degree "connectivity" of the 20 %
@@ -67,7 +70,7 @@ func topShare(deg []int, frac float64) float64 {
 		return 0
 	}
 	sorted := append([]int(nil), deg...)
-	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	slices.SortFunc(sorted, func(x, y int) int { return cmp.Compare(y, x) })
 	k := int(float64(n) * frac)
 	if k < 1 {
 		k = 1
@@ -98,12 +101,12 @@ func TopKByInDegree(g *Graph, k int) []VertexID {
 	for v := range ids {
 		ids[v] = VertexID(v)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		di, dj := g.InDegree(ids[i]), g.InDegree(ids[j])
-		if di != dj {
-			return di > dj
+	slices.SortFunc(ids, func(x, y VertexID) int {
+		dx, dy := g.InDegree(x), g.InDegree(y)
+		if dx != dy {
+			return cmp.Compare(dy, dx)
 		}
-		return ids[i] < ids[j]
+		return cmp.Compare(x, y)
 	})
 	return ids[:k]
 }
@@ -148,7 +151,7 @@ func CumulativeDegreeShare(g *Graph) []float64 {
 	for v := 0; v < n; v++ {
 		deg[v] = g.InDegree(VertexID(v))
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	slices.SortFunc(deg, func(x, y int) int { return cmp.Compare(y, x) })
 	var total int64
 	for _, d := range deg {
 		total += int64(d)

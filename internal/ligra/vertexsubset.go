@@ -1,6 +1,7 @@
 package ligra
 
 import (
+	"slices"
 	"sort"
 
 	"omega/internal/core"
@@ -24,7 +25,7 @@ type VertexSubset struct {
 // sorted for determinism).
 func (f *Framework) NewVertexSubsetSparse(ids []uint32) *VertexSubset {
 	sorted := append([]uint32(nil), ids...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	out := sorted[:0]
 	var last uint32
 	for i, v := range sorted {

@@ -82,16 +82,24 @@ func (c *Cache) locate(a memsys.Addr) (setIdx uint64, tag uint64) {
 	return la % c.numSets, la / c.numSets
 }
 
+// findLine probes one set for tag and returns the matching valid line, or
+// nil. It is the single probe loop behind Lookup, Access, Fill, Invalidate,
+// and Pin.
+func (c *Cache) findLine(set, tag uint64) *line {
+	s := c.sets[set]
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
 // Lookup probes the cache without modifying replacement or contents, and
 // reports whether addr is present.
 func (c *Cache) Lookup(a memsys.Addr) bool {
 	set, tag := c.locate(a)
-	for i := range c.sets[set] {
-		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
-			return true
-		}
-	}
-	return false
+	return c.findLine(set, tag) != nil
 }
 
 // EvictedLine describes a victim produced by a fill.
@@ -107,18 +115,15 @@ type EvictedLine struct {
 func (c *Cache) Access(a memsys.Addr, write bool) (hit bool) {
 	set, tag := c.locate(a)
 	c.useClock++
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
-			l.lastUse = c.useClock
-			if write {
-				l.dirty = true
-				c.Writes.Observe(true)
-			} else {
-				c.Reads.Observe(true)
-			}
-			return true
+	if l := c.findLine(set, tag); l != nil {
+		l.lastUse = c.useClock
+		if write {
+			l.dirty = true
+			c.Writes.Observe(true)
+		} else {
+			c.Reads.Observe(true)
 		}
+		return true
 	}
 	if write {
 		c.Writes.Observe(false)
@@ -134,16 +139,13 @@ func (c *Cache) Access(a memsys.Addr, write bool) (hit bool) {
 func (c *Cache) Fill(a memsys.Addr, dirty bool) (victim EvictedLine, evicted bool) {
 	set, tag := c.locate(a)
 	c.useClock++
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
-			// Already present (e.g. refilled by a racing path): refresh.
-			l.lastUse = c.useClock
-			if dirty {
-				l.dirty = true
-			}
-			return EvictedLine{}, false
+	if l := c.findLine(set, tag); l != nil {
+		// Already present (e.g. refilled by a racing path): refresh.
+		l.lastUse = c.useClock
+		if dirty {
+			l.dirty = true
 		}
+		return EvictedLine{}, false
 	}
 	// Prefer an invalid way; otherwise evict the least recently used
 	// non-pinned line. A fully pinned set rejects the fill (the caller
@@ -187,14 +189,13 @@ func (c *Cache) Fill(a memsys.Addr, dirty bool) (victim EvictedLine, evicted boo
 // one replaceable way.
 func (c *Cache) Pin(a memsys.Addr) bool {
 	set, tag := c.locate(a)
+	if l := c.findLine(set, tag); l != nil {
+		l.pinned = true
+		return true
+	}
 	pinned := 0
 	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
-			l.pinned = true
-			return true
-		}
-		if l.valid && l.pinned {
+		if c.sets[set][i].valid && c.sets[set][i].pinned {
 			pinned++
 		}
 	}
@@ -202,12 +203,9 @@ func (c *Cache) Pin(a memsys.Addr) bool {
 		return false
 	}
 	c.Fill(a, false)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
-			l.pinned = true
-			return true
-		}
+	if l := c.findLine(set, tag); l != nil {
+		l.pinned = true
+		return true
 	}
 	return false
 }
@@ -229,16 +227,12 @@ func (c *Cache) PinnedLines() int {
 // it was present and dirty (the caller is responsible for the writeback).
 func (c *Cache) Invalidate(a memsys.Addr) (present, dirty bool) {
 	set, tag := c.locate(a)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
-			present, dirty = true, l.dirty
-			l.valid = false
-			l.dirty = false
-			return
-		}
+	if l := c.findLine(set, tag); l != nil {
+		present, dirty = true, l.dirty
+		l.valid = false
+		l.dirty = false
 	}
-	return false, false
+	return
 }
 
 // reconstruct rebuilds a line-aligned address from set index and tag.

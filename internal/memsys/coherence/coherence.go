@@ -6,23 +6,43 @@
 //
 // The model is a "MESI-lite": it captures the message counts and latency
 // events of MESI Two Level (Table III) without simulating transient states.
+//
+// The directory is probed on every simulated cache access, so its storage
+// is a value-typed open-addressing hash table (power-of-two capacity,
+// linear probing, backward-shift deletion) instead of a Go map of
+// pointers: the steady-state probe performs no allocation and no pointer
+// chasing. The table only grows; capacity is bounded by the number of
+// lines simultaneously present in the L1s, which the caches bound.
 package coherence
 
 import (
+	"math/bits"
+
 	"omega/internal/memsys"
 	"omega/internal/stats"
 )
 
-// entry is the directory state for one line.
-type entry struct {
+// dirEntry is the directory state for one line, stored by value in the
+// open-addressing table. A zero sharer mask with no owner is removed from
+// the table rather than stored, so `used` distinguishes occupancy.
+type dirEntry struct {
+	line    memsys.Addr
 	sharers uint64 // bitmask of cores holding the line
 	owner   int8   // core holding Modified, or -1
+	used    bool
 }
+
+// dirInitialCap is the starting table capacity (must be a power of two).
+// A 16-core machine with 32 KB L1s tracks at most 16*512 = 8192 lines, so
+// the table typically grows a few times early in a run and then stays put.
+const dirInitialCap = 1 << 10
 
 // Directory tracks L1 copies. Not safe for concurrent use.
 type Directory struct {
 	numCores int
-	lines    map[memsys.Addr]*entry
+	entries  []dirEntry
+	mask     uint64
+	count    int // occupied slots
 
 	// Stats
 	Invalidations stats.Counter // individual invalidation messages sent
@@ -35,7 +55,111 @@ func New(numCores int) *Directory {
 	if numCores <= 0 || numCores > 64 {
 		panic("coherence: numCores must be in 1..64")
 	}
-	return &Directory{numCores: numCores, lines: make(map[memsys.Addr]*entry)}
+	return &Directory{
+		numCores: numCores,
+		entries:  make([]dirEntry, dirInitialCap),
+		mask:     dirInitialCap - 1,
+	}
+}
+
+// dirHash mixes a line address into a table index seed (SplitMix64
+// finalizer over the line number; the low bits after mixing are uniform
+// enough for a power-of-two table).
+func dirHash(line memsys.Addr) uint64 {
+	x := uint64(line) / memsys.LineSize
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// find returns the slot holding line, or -1.
+func (d *Directory) find(line memsys.Addr) int {
+	i := dirHash(line) & d.mask
+	for {
+		e := &d.entries[i]
+		if !e.used {
+			return -1
+		}
+		if e.line == line {
+			return int(i)
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// findOrInsert returns the slot holding line, inserting a fresh entry
+// (no sharers, no owner) if absent. Insertion may grow the table.
+func (d *Directory) findOrInsert(line memsys.Addr) int {
+	for {
+		i := dirHash(line) & d.mask
+		for {
+			e := &d.entries[i]
+			if !e.used {
+				// Keep load factor below 3/4 so probe chains stay short.
+				if uint64(d.count+1)*4 > (d.mask+1)*3 {
+					d.grow()
+					break // re-probe against the grown table
+				}
+				*e = dirEntry{line: line, owner: -1, used: true}
+				d.count++
+				return int(i)
+			}
+			if e.line == line {
+				return int(i)
+			}
+			i = (i + 1) & d.mask
+		}
+	}
+}
+
+// grow doubles the table and rehashes every occupied slot.
+func (d *Directory) grow() {
+	old := d.entries
+	d.entries = make([]dirEntry, 2*len(old))
+	d.mask = uint64(len(d.entries) - 1)
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		j := dirHash(old[i].line) & d.mask
+		for d.entries[j].used {
+			j = (j + 1) & d.mask
+		}
+		d.entries[j] = old[i]
+	}
+}
+
+// erase empties slot i, backward-shifting any follow-on entries whose
+// probe chain crossed i so lookups never need tombstones.
+func (d *Directory) erase(i uint64) {
+	d.count--
+	j := i
+	for {
+		j = (j + 1) & d.mask
+		e := &d.entries[j]
+		if !e.used {
+			break
+		}
+		k := dirHash(e.line) & d.mask
+		// If e's home slot k lies cyclically in (i, j], the gap at i does
+		// not break e's probe chain; keep scanning. Otherwise move e back
+		// into the gap and continue from its old slot.
+		inRange := false
+		if i <= j {
+			inRange = i < k && k <= j
+		} else {
+			inRange = i < k || k <= j
+		}
+		if inRange {
+			continue
+		}
+		d.entries[i] = *e
+		i = j
+	}
+	d.entries[i] = dirEntry{}
 }
 
 // ReadOutcome describes what a read acquisition required.
@@ -47,7 +171,7 @@ type ReadOutcome struct {
 
 // AcquireShared records that core is gaining a Shared copy of line.
 func (d *Directory) AcquireShared(line memsys.Addr, core int) ReadOutcome {
-	e := d.get(line)
+	e := &d.entries[d.findOrInsert(line)]
 	out := ReadOutcome{DirtyOwner: -1}
 	if e.owner >= 0 && int(e.owner) != core {
 		out.DirtyOwner = int(e.owner)
@@ -76,18 +200,13 @@ type WriteOutcome struct {
 // AcquireExclusive records that core is gaining an exclusive (Modified)
 // copy of line, invalidating all other holders.
 func (d *Directory) AcquireExclusive(line memsys.Addr, core int) WriteOutcome {
-	e := d.get(line)
+	e := &d.entries[d.findOrInsert(line)]
 	out := WriteOutcome{DirtyOwner: -1}
 	if e.owner >= 0 && int(e.owner) != core {
 		out.DirtyOwner = int(e.owner)
 		d.C2CTransfers.Inc()
 	}
-	mask := e.sharers &^ (1 << uint(core))
-	for c := 0; c < d.numCores; c++ {
-		if mask&(1<<uint(c)) != 0 {
-			out.Invalidated++
-		}
-	}
+	out.Invalidated = bits.OnesCount64(e.sharers &^ (1 << uint(core)))
 	d.Invalidations.Add(uint64(out.Invalidated))
 	e.sharers = 1 << uint(core)
 	e.owner = int8(core)
@@ -98,55 +217,53 @@ func (d *Directory) AcquireExclusive(line memsys.Addr, core int) WriteOutcome {
 // Shared; the caller handles any writeback traffic for Modified).
 // It reports whether the dropped copy was the Modified one.
 func (d *Directory) Drop(line memsys.Addr, core int) (wasModified bool) {
-	e, ok := d.lines[line]
-	if !ok {
+	i := d.find(line)
+	if i < 0 {
 		return false
 	}
+	e := &d.entries[i]
 	if e.owner == int8(core) {
 		e.owner = -1
 		wasModified = true
 	}
 	e.sharers &^= 1 << uint(core)
 	if e.sharers == 0 && e.owner < 0 {
-		delete(d.lines, line)
+		d.erase(uint64(i))
 	}
 	return wasModified
 }
 
 // Holders returns how many cores currently hold line.
 func (d *Directory) Holders(line memsys.Addr) int {
-	e, ok := d.lines[line]
-	if !ok {
+	return bits.OnesCount64(d.Sharers(line))
+}
+
+// Sharers returns the bitmask of cores holding line (bit c = core c), or 0
+// when the line is untracked. A core's bit is set whenever its L1 holds
+// the line, so callers can restrict per-core probe loops to set bits.
+func (d *Directory) Sharers(line memsys.Addr) uint64 {
+	i := d.find(line)
+	if i < 0 {
 		return 0
 	}
-	n := 0
-	for c := 0; c < d.numCores; c++ {
-		if e.sharers&(1<<uint(c)) != 0 {
-			n++
-		}
-	}
-	return n
+	return d.entries[i].sharers
 }
 
 // IsModifiedBy reports whether core holds line in Modified state.
 func (d *Directory) IsModifiedBy(line memsys.Addr, core int) bool {
-	e, ok := d.lines[line]
-	return ok && e.owner == int8(core)
+	i := d.find(line)
+	return i >= 0 && d.entries[i].owner == int8(core)
 }
 
-// Reset clears all directory state and statistics.
+// Lines returns how many lines the directory currently tracks.
+func (d *Directory) Lines() int { return d.count }
+
+// Reset clears all directory state and statistics. The table keeps its
+// grown capacity, so a Reset-and-rerun reaches steady state immediately.
 func (d *Directory) Reset() {
-	d.lines = make(map[memsys.Addr]*entry)
+	clear(d.entries)
+	d.count = 0
 	d.Invalidations.Reset()
 	d.C2CTransfers.Reset()
 	d.Downgrades.Reset()
-}
-
-func (d *Directory) get(line memsys.Addr) *entry {
-	e, ok := d.lines[line]
-	if !ok {
-		e = &entry{owner: -1}
-		d.lines[line] = e
-	}
-	return e
 }

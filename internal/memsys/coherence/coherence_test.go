@@ -181,3 +181,48 @@ func TestBadCoreCountPanics(t *testing.T) {
 	}()
 	New(0)
 }
+
+// TestTableGrowthAndErase drives the open-addressing table through
+// several doublings and a full teardown, checking that every line keeps
+// its state across rehashes and that backward-shift deletion never
+// strands a reachable entry.
+func TestTableGrowthAndErase(t *testing.T) {
+	const n = 20000 // well past several growths from the initial capacity
+	d := New(16)
+	for i := 0; i < n; i++ {
+		d.AcquireShared(memsys.Addr(i*memsys.LineSize), i%16)
+	}
+	if d.Lines() != n {
+		t.Fatalf("Lines() = %d, want %d", d.Lines(), n)
+	}
+	for i := 0; i < n; i++ {
+		line := memsys.Addr(i * memsys.LineSize)
+		if d.Holders(line) != 1 {
+			t.Fatalf("line %d lost after growth: holders %d", i, d.Holders(line))
+		}
+	}
+	// Erase every other line, then verify survivors are still reachable
+	// through any backward-shifted probe chains.
+	for i := 0; i < n; i += 2 {
+		d.Drop(memsys.Addr(i*memsys.LineSize), i%16)
+	}
+	if d.Lines() != n/2 {
+		t.Fatalf("Lines() = %d after drops, want %d", d.Lines(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		want := i % 2
+		if got := d.Holders(memsys.Addr(i * memsys.LineSize)); got != want {
+			t.Fatalf("line %d: holders %d, want %d", i, got, want)
+		}
+	}
+	// Reset keeps capacity but empties the table.
+	d.Reset()
+	if d.Lines() != 0 {
+		t.Fatalf("Lines() = %d after Reset, want 0", d.Lines())
+	}
+	for i := 0; i < n; i++ {
+		if d.Holders(memsys.Addr(i*memsys.LineSize)) != 0 {
+			t.Fatalf("line %d survived Reset", i)
+		}
+	}
+}

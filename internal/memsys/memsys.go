@@ -79,6 +79,54 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
+// NumKinds is the number of Kind values, for dense per-kind arrays.
+const NumKinds = 4
+
+// Level identifies the hierarchy component that satisfied an access. It is
+// a dense enum so the per-access bookkeeping (machine level profiles, trace
+// aggregation) can index fixed-size arrays instead of hashing strings — the
+// steady-state access path must not allocate.
+type Level uint8
+
+const (
+	// LevelL1 is a private L1 data cache hit.
+	LevelL1 Level = iota
+	// LevelL2Plus covers everything the cache path resolves beyond the L1:
+	// L2 bank hits, cache-to-cache transfers, and DRAM fills.
+	LevelL2Plus
+	// LevelSPLocal is the issuing core's own scratchpad slice.
+	LevelSPLocal
+	// LevelSPRemote is a remote scratchpad slice across the NoC.
+	LevelSPRemote
+	// LevelSPAtomic is a core-executed atomic on a scratchpad word (the
+	// no-PISC ablation).
+	LevelSPAtomic
+	// LevelSPDegraded is a parity-degraded vertex line falling back to the
+	// cache hierarchy.
+	LevelSPDegraded
+	// LevelSrcBuf is the per-core source vertex buffer.
+	LevelSrcBuf
+	// LevelPISC is an atomic offloaded to a processing-in-scratchpad engine.
+	LevelPISC
+	// NumLevels is the number of Level values, for dense per-level arrays.
+	NumLevels
+)
+
+// levelNames holds the stable display names; they are part of the tool
+// output format (trace summaries, level profiles) and must not change.
+var levelNames = [NumLevels]string{
+	"L1", "L2+", "SP-local", "SP-remote", "SP-atomic", "SP-degraded",
+	"SrcBuf", "PISC",
+}
+
+// String names the level for stats output.
+func (l Level) String() string {
+	if l < NumLevels {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
 // Access describes one logical memory access emitted by the framework.
 type Access struct {
 	// Core is the issuing core ID in [0, NumCores).
@@ -114,9 +162,8 @@ type Result struct {
 	// Offloaded reports that the operation was handed to a PISC engine
 	// and the core does not wait for completion.
 	Offloaded bool
-	// LevelName names the component that satisfied the access
-	// ("L1", "L2", "DRAM", "SP-local", "SP-remote", "SrcBuf", "PISC").
-	LevelName string
+	// Level identifies the component that satisfied the access.
+	Level Level
 }
 
 // Hierarchy is a memory subsystem that can satisfy accesses. Both the

@@ -37,6 +37,26 @@ func TestKindStrings(t *testing.T) {
 	}
 }
 
+func TestLevelStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for l := Level(0); l < NumLevels; l++ {
+		name := l.String()
+		if name == "" {
+			t.Fatalf("level %d has no name", l)
+		}
+		if seen[name] {
+			t.Fatalf("level name %q duplicated", name)
+		}
+		seen[name] = true
+	}
+	if LevelL1.String() != "L1" || LevelSPLocal.String() != "SP-local" {
+		t.Fatal("level names wrong")
+	}
+	if Level(99).String() == "" {
+		t.Fatal("unknown level should still render")
+	}
+}
+
 func TestOpStrings(t *testing.T) {
 	if OpRead.String() != "read" || OpWrite.String() != "write" || OpAtomic.String() != "atomic" {
 		t.Fatal("op names wrong")

@@ -23,8 +23,8 @@ type Event struct {
 	// Kind/Op classify the access.
 	Kind memsys.Kind
 	Op   memsys.Op
-	// Level names the hierarchy level that served it.
-	Level string
+	// Level is the hierarchy level that served it.
+	Level memsys.Level
 	// Latency is the modeled completion latency.
 	Latency memsys.Cycles
 	// Blocking/Offloaded mirror the timing outcome.
@@ -34,19 +34,16 @@ type Event struct {
 
 // Collector accumulates events in memory (bounded) and aggregates
 // per-(kind, level) statistics unboundedly. It implements core.Tracer.
+// Aggregation indexes dense (Kind, Level) enum arrays, so recording an
+// access allocates nothing once the event buffer is full.
 type Collector struct {
 	// MaxEvents bounds the retained raw events (0 = keep none, aggregate
 	// only).
 	MaxEvents int
 
 	events []Event
-	agg    map[aggKey]*aggVal
-	hist   map[memsys.Kind]*stats.Histogram
-}
-
-type aggKey struct {
-	kind  memsys.Kind
-	level string
+	agg    [memsys.NumKinds][memsys.NumLevels]aggVal
+	hist   [memsys.NumKinds]*stats.Histogram
 }
 
 type aggVal struct {
@@ -56,11 +53,7 @@ type aggVal struct {
 
 // NewCollector builds a collector retaining up to maxEvents raw events.
 func NewCollector(maxEvents int) *Collector {
-	return &Collector{
-		MaxEvents: maxEvents,
-		agg:       make(map[aggKey]*aggVal),
-		hist:      make(map[memsys.Kind]*stats.Histogram),
-	}
+	return &Collector{MaxEvents: maxEvents}
 }
 
 // Record implements the machine's tracer hook.
@@ -68,16 +61,11 @@ func (c *Collector) Record(now memsys.Cycles, a memsys.Access, r memsys.Result) 
 	if len(c.events) < c.MaxEvents {
 		c.events = append(c.events, Event{
 			Cycle: now, Core: a.Core, Kind: a.Kind, Op: a.Op,
-			Level: r.LevelName, Latency: r.Latency,
+			Level: r.Level, Latency: r.Latency,
 			Blocking: r.Blocking, Offloaded: r.Offloaded,
 		})
 	}
-	k := aggKey{a.Kind, r.LevelName}
-	v := c.agg[k]
-	if v == nil {
-		v = &aggVal{}
-		c.agg[k] = v
-	}
+	v := &c.agg[a.Kind][r.Level]
 	v.count++
 	v.latency += uint64(r.Latency)
 	h := c.hist[a.Kind]
@@ -101,12 +89,20 @@ type Row struct {
 
 // Summary returns per-(kind, level) aggregates sorted by descending count.
 func (c *Collector) Summary() []Row {
-	rows := make([]Row, 0, len(c.agg))
-	for k, v := range c.agg {
-		rows = append(rows, Row{
-			Kind: k.kind, Level: k.level, Count: v.count,
-			AvgLatency: float64(v.latency) / float64(v.count),
-		})
+	var rows []Row
+	for kind := range c.agg {
+		for level := range c.agg[kind] {
+			v := c.agg[kind][level]
+			if v.count == 0 {
+				continue
+			}
+			rows = append(rows, Row{
+				Kind:       memsys.Kind(kind),
+				Level:      memsys.Level(level).String(),
+				Count:      v.count,
+				AvgLatency: float64(v.latency) / float64(v.count),
+			})
+		}
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Count != rows[j].Count {

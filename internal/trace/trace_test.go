@@ -15,7 +15,7 @@ import (
 func TestCollectorAggregates(t *testing.T) {
 	c := NewCollector(2)
 	a := memsys.Access{Core: 1, Kind: memsys.KindVtxProp, Op: memsys.OpAtomic}
-	r := memsys.Result{Latency: 100, LevelName: "L2+", Blocking: true}
+	r := memsys.Result{Latency: 100, Level: memsys.LevelL2Plus, Blocking: true}
 	for i := 0; i < 5; i++ {
 		c.Record(memsys.Cycles(i), a, r)
 	}
@@ -37,7 +37,7 @@ func TestCollectorAggregates(t *testing.T) {
 func TestCollectorRendering(t *testing.T) {
 	c := NewCollector(10)
 	c.Record(1, memsys.Access{Kind: memsys.KindEdgeList, Op: memsys.OpRead},
-		memsys.Result{Latency: 1, LevelName: "L1"})
+		memsys.Result{Latency: 1, Level: memsys.LevelL1})
 	var sum, tsv strings.Builder
 	if err := c.WriteSummary(&sum); err != nil {
 		t.Fatal(err)
