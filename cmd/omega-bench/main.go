@@ -60,6 +60,7 @@ func run() error {
 		jsonDir  = flag.String("json", "", "directory to write per-experiment JSON files")
 		htmlPath = flag.String("html", "", "write a self-contained HTML report")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-experiment watchdog timeout (0 disables)")
+		serialVr = flag.Bool("serial-variants", false, "run machine variants inside each experiment sequentially (identical tables)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 		memProf  = flag.String("memprofile", "", "write an end-of-suite heap profile to this file")
 	)
@@ -109,6 +110,7 @@ func run() error {
 	opts := experiments.Options{
 		Scale: *scale, Seed: *seed, Coverage: *coverage,
 		Parallelism: *parallel, Timeout: *timeout,
+		SerialVariants: *serialVr,
 	}
 	start := time.Now()
 

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"omega/internal/algorithms"
 	"omega/internal/core"
@@ -43,6 +44,7 @@ func run() error {
 		noPISC    = flag.Bool("no-pisc", false, "disable PISC engines (scratchpads only)")
 		faultRate = flag.Float64("faults", 0, "fault injection rate per DRAM read / NoC message (0 = off)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault injector streams")
+		serial    = flag.Bool("serial", false, "with -machine both, simulate the machines one after the other")
 		verbose   = flag.Bool("v", false, "print full stats summaries")
 		jsonOut   = flag.Bool("json", false, "print machine stats as JSON instead of text")
 	)
@@ -85,24 +87,63 @@ func run() error {
 		fmt.Print(st.Summary())
 		return nil
 	}
-	runOn := func(cfg core.Config) (core.MachineStats, error) {
+	simulate := func(cfg core.Config) (core.MachineStats, error) {
 		m, err := core.NewMachineChecked(cfg)
 		if err != nil {
 			return core.MachineStats{}, err
 		}
-		st := spec.Run(ligra.New(m, g))
+		return spec.Run(ligra.New(m, g)), nil
+	}
+	runOn := func(cfg core.Config) (core.MachineStats, error) {
+		st, err := simulate(cfg)
+		if err != nil {
+			return st, err
+		}
 		return st, emit(st)
 	}
 	var baseStats, omStats core.MachineStats
-	if *machine == "baseline" || *machine == "both" {
+	switch *machine {
+	case "baseline":
 		if baseStats, err = runOn(baseCfg); err != nil {
 			return err
 		}
-	}
-	if *machine == "omega" || *machine == "both" {
+	case "omega":
 		if omStats, err = runOn(omCfg); err != nil {
 			return err
 		}
+	case "both":
+		if *serial {
+			if baseStats, err = runOn(baseCfg); err != nil {
+				return err
+			}
+			if omStats, err = runOn(omCfg); err != nil {
+				return err
+			}
+			break
+		}
+		// The two machines are independent deterministic simulations over
+		// the same immutable graph, so they run concurrently; output is
+		// held back and printed in baseline-then-omega order.
+		var wg sync.WaitGroup
+		var baseErr, omErr error
+		wg.Add(2)
+		go func() { defer wg.Done(); baseStats, baseErr = simulate(baseCfg) }()
+		go func() { defer wg.Done(); omStats, omErr = simulate(omCfg) }()
+		wg.Wait()
+		if baseErr != nil {
+			return baseErr
+		}
+		if omErr != nil {
+			return omErr
+		}
+		if err := emit(baseStats); err != nil {
+			return err
+		}
+		if err := emit(omStats); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -machine %q (want baseline, omega, or both)", *machine)
 	}
 	if *machine == "both" {
 		fmt.Printf("speedup (omega vs baseline): %.2fx\n", omStats.Speedup(baseStats))

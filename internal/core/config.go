@@ -98,6 +98,12 @@ type Config struct {
 	// (all rates 0) disables injection entirely and is the default.
 	Faults faults.Config
 
+	// DisableLineBuffer turns off the per-core same-line read fast path
+	// (the one-entry line buffer). Results are bit-identical either way;
+	// the knob exists so equivalence tests and benchmarks can compare the
+	// memoized path against the full probe.
+	DisableLineBuffer bool
+
 	// OpenMPChunk is the scheduling chunk size of the framework's
 	// parallel loops.
 	OpenMPChunk int

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"omega/internal/memsys"
 	"omega/internal/memsys/cache"
 	"omega/internal/memsys/coherence"
@@ -26,6 +28,11 @@ type cachePath struct {
 	l1HitLat   memsys.Cycles
 	dramWrites stats.Counter
 
+	// coreShift/coreMask strength-reduce the bank-interleaving div/mod to
+	// shift/mask when NumCores is a power of two (coreShift -1 otherwise).
+	coreShift int
+	coreMask  uint64
+
 	// LLC pollution state (Config.LLCPollution): synthetic fills that
 	// model the instruction/OS traffic of a real machine's LLC.
 	pollAccum float64
@@ -38,11 +45,16 @@ type cachePath struct {
 
 func newCachePath(cfg Config, xbar *noc.Crossbar, mem *dram.DRAM) *cachePath {
 	p := &cachePath{
-		cfg:      cfg,
-		dir:      coherence.New(cfg.NumCores),
-		dram:     mem,
-		noc:      xbar,
-		l1HitLat: 1,
+		cfg:       cfg,
+		dir:       coherence.New(cfg.NumCores),
+		dram:      mem,
+		noc:       xbar,
+		l1HitLat:  1,
+		coreShift: -1,
+	}
+	if n := cfg.NumCores; n&(n-1) == 0 {
+		p.coreShift = bits.TrailingZeros(uint(n))
+		p.coreMask = uint64(n) - 1
 	}
 	for c := 0; c < cfg.NumCores; c++ {
 		p.l1 = append(p.l1, cache.New(cache.Config{
@@ -63,7 +75,11 @@ func newCachePath(cfg Config, xbar *noc.Crossbar, mem *dram.DRAM) *cachePath {
 
 // homeBank address-interleaves lines across L2 banks.
 func (p *cachePath) homeBank(line memsys.Addr) int {
-	return int(uint64(line) / memsys.LineSize % uint64(p.cfg.NumCores))
+	g := uint64(line) / memsys.LineSize
+	if p.coreShift >= 0 {
+		return int(g & p.coreMask)
+	}
+	return int(g % uint64(p.cfg.NumCores))
 }
 
 // l2Local strips the bank-interleaving bits from a global line address so
@@ -71,6 +87,9 @@ func (p *cachePath) homeBank(line memsys.Addr) int {
 // a bank would map to the same few sets).
 func (p *cachePath) l2Local(line memsys.Addr) memsys.Addr {
 	g := uint64(line) / memsys.LineSize
+	if p.coreShift >= 0 {
+		return memsys.Addr(g >> uint(p.coreShift) * memsys.LineSize)
+	}
 	return memsys.Addr(g / uint64(p.cfg.NumCores) * memsys.LineSize)
 }
 
@@ -91,25 +110,40 @@ func (p *cachePath) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
 	line := memsys.LineAddr(a.Addr)
 	l1 := p.l1[a.Core]
 
+	// Streaming-kind reads seed the L1's same-line memo (the fast path in
+	// Machine.fastRead); vtxProp and writes use the plain probe so point
+	// accesses do not evict a live stream memo.
+	stream := !write && a.Kind != memsys.KindVtxProp
+	var l1Hit bool
+	if stream {
+		l1Hit = l1.AccessStreamRead(line)
+	} else {
+		l1Hit = l1.Access(line, write)
+	}
+
 	var lat memsys.Cycles
 	level := memsys.LevelL1
-	if l1.Access(line, write) {
+	if l1Hit {
 		lat = p.l1HitLat
-		if write && !p.dir.IsModifiedBy(line, a.Core) {
-			// Upgrade: invalidate other sharers.
-			out := p.dir.AcquireExclusive(line, a.Core)
-			for i := 0; i < out.Invalidated; i++ {
-				p.noc.Send(now, a.Core, p.homeBank(line), 0, noc.ClassCtrl)
-			}
-			if atomic && out.Invalidated > 0 {
-				lat += p.cfg.InvalidationCycles
+		if write {
+			// Upgrade: invalidate other sharers (single directory probe;
+			// a no-op when this core already holds the line Modified).
+			if out, upgraded := p.dir.Upgrade(line, a.Core); upgraded {
+				for i := 0; i < out.Invalidated; i++ {
+					p.noc.Send(now, a.Core, p.homeBank(line), 0, noc.ClassCtrl)
+				}
+				if atomic && out.Invalidated > 0 {
+					lat += p.cfg.InvalidationCycles
+				}
 			}
 		}
 	} else {
 		lat = p.miss(now, a.Core, line, write, a.Kind == memsys.KindVtxProp)
 		level = memsys.LevelL2Plus
-		// Fill L1 and handle its victim.
-		p.fillL1(now, a.Core, line, write)
+		// Fill L1 and handle its victim. Streaming fills seed the L1's
+		// same-line memo so the reads that follow the miss take the fast
+		// path.
+		p.fillL1(now, a.Core, line, write, stream)
 		if p.cfg.L1Prefetch &&
 			(a.Kind == memsys.KindEdgeList || a.Kind == memsys.KindNGraphData) {
 			p.prefetchNext(now, a.Core, line)
@@ -193,7 +227,9 @@ func (p *cachePath) prefetchNext(now memsys.Cycles, core int, line memsys.Addr) 
 		}
 	}
 	p.noc.Send(now, bank, core, memsys.LineSize, noc.ClassLine)
-	p.fillL1(now, core, next, false)
+	// Prefetched lines do not seed the memo: the demand stream's memo
+	// should keep pointing at the line the core is actually reading.
+	p.fillL1(now, core, next, false, false)
 }
 
 // pollute injects Config.LLCPollution synthetic fills per demand access
@@ -211,22 +247,46 @@ func (p *cachePath) pollute(bank int) {
 		p.pollAccum--
 		p.pollNext = p.pollNext*6364136223846793005 + 1442695040888963407
 		// Spread across sets within the bank; reserved range above 2^40.
-		addr := memsys.Addr(1<<40 + (p.pollNext%(1<<20))*memsys.LineSize)
+		addr := memsys.Addr(pollutionBase + (p.pollNext%(1<<20))*memsys.LineSize)
 		p.l2[bank].Fill(p.l2Local(addr), false)
 		p.Pollution.Inc()
 	}
 }
 
+// pollutionBase is the bottom of the reserved address range holding the
+// synthetic LLC-pollution lines. Real simulated addresses are region
+// allocations far below it, so any line at or above the (bank-stripped)
+// base is synthetic.
+const pollutionBase = 1 << 40
+
 // evictFromL2 handles an L2 victim: back-invalidate L1 copies (inclusive
 // hierarchy) and write dirty data to DRAM.
 func (p *cachePath) evictFromL2(now memsys.Cycles, bank int, victim cache.EvictedLine) {
 	global := p.l2Global(victim.Addr, bank)
+	if uint64(global) >= pollutionBase/2 {
+		// Synthetic pollution victim: no core ever issues an access in the
+		// reserved range, so no L1 holds the line (every probe below would
+		// miss), the directory does not track it, and it is never dirtied.
+		// Skipping the all-core back-invalidation probe loop is therefore
+		// free of observable effect — and under LLCPollution it is a large
+		// share of all L2 evictions. The half-base threshold absorbs the
+		// ≤NumCores-line rounding of the bank-local round trip (pollution
+		// fills target the accessed bank, not the line's home bank, so the
+		// reconstruction can sit a few lines under pollutionBase); real
+		// allocations sit many orders of magnitude below 2^39.
+		return
+	}
 	dirty := victim.Dirty
-	// Note: the directory's sharer mask cannot shortcut this probe loop.
-	// AcquireExclusive clears other cores' sharer bits without removing
-	// their (now stale) L1 copies, so L1 contents are a superset of the
-	// mask and every core must be probed.
-	for c := 0; c < p.cfg.NumCores; c++ {
+	// Back-invalidation probes are restricted to the directory's resident
+	// mask — a guaranteed superset of the L1s containing the line (the
+	// sharer mask alone would not do: AcquireExclusive clears other cores'
+	// sharer bits without removing their now-stale L1 copies, but their
+	// resident bits persist until the copy is provably gone). A core
+	// outside the mask would probe-miss with zero side effects, so
+	// skipping it is unobservable. Bits are visited in ascending core
+	// order, preserving the full loop's message order.
+	for rem := p.dir.Resident(global); rem != 0; rem &= rem - 1 {
+		c := bits.TrailingZeros64(rem)
 		if present, l1dirty := p.l1[c].Invalidate(global); present {
 			p.noc.Send(now, bank, c, 0, noc.ClassCtrl)
 			if l1dirty {
@@ -234,6 +294,10 @@ func (p *cachePath) evictFromL2(now memsys.Cycles, bank int, victim cache.Evicte
 				dirty = true
 			}
 			p.dir.Drop(global, c)
+		} else {
+			// Stale residency bit (e.g. the L1 was reset): retract it so
+			// the entry can be reclaimed.
+			p.dir.ClearResident(global, c)
 		}
 	}
 	if dirty {
@@ -243,15 +307,23 @@ func (p *cachePath) evictFromL2(now memsys.Cycles, bank int, victim cache.Evicte
 }
 
 // fillL1 installs line into the core's L1 and handles the victim
-// (directory drop + dirty writeback to the home bank).
-func (p *cachePath) fillL1(now memsys.Cycles, core int, line memsys.Addr, write bool) {
-	victim, evicted := p.l1[core].Fill(line, write)
+// (directory drop + dirty writeback to the home bank). stream additionally
+// seeds the L1's same-line memo with the filled line.
+func (p *cachePath) fillL1(now memsys.Cycles, core int, line memsys.Addr, write, stream bool) {
+	var victim cache.EvictedLine
+	var evicted bool
+	if stream {
+		victim, evicted = p.l1[core].FillStream(line, write)
+	} else {
+		victim, evicted = p.l1[core].Fill(line, write)
+	}
 	if !write {
-		// Shared-state bookkeeping already done in miss(); writes did
-		// AcquireExclusive there or on the upgrade path.
-		if !p.dir.IsModifiedBy(line, core) && p.dir.Holders(line) == 0 {
-			p.dir.AcquireShared(line, core)
-		}
+		// Shared-state bookkeeping already done in miss() for demand reads;
+		// FillShared acquires Shared exactly when the line is untracked
+		// (prefetch fills) and marks residency either way. Writes did
+		// AcquireExclusive in miss() (which marks residency) or hit on the
+		// upgrade path.
+		p.dir.FillShared(line, core)
 	}
 	if !evicted {
 		return

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"omega/internal/faults"
+	"omega/internal/memsys"
+	"omega/internal/pisc"
+	"omega/internal/scratchpad"
+)
+
+// armed reports whether core's line-buffer memo for the line of r[i]
+// would currently validate (line match + generation match).
+func armed(m *Machine, core int, r *Region, i int) bool {
+	line := memsys.LineAddr(r.Addr(i))
+	_, _, ok := m.cores[core].LineBufLookup(line, m.path.l1[core].Gen()+m.fastEpoch)
+	return ok
+}
+
+// runSeq replays the same access script on a machine and returns its
+// stats plus level profile, for the enabled-vs-disabled equivalence
+// checks below.
+func runSeq(cfg Config, script func(c0, c1 *Ctx, el, vp *Region)) (MachineStats, map[string]uint64) {
+	m := NewMachine(cfg)
+	el := m.Alloc("el", 4096, 8, memsys.KindEdgeList)
+	vp := m.Alloc("vp", 4096, 8, memsys.KindVtxProp)
+	c0 := &Ctx{m: m, core: 0}
+	c1 := &Ctx{m: m, core: 1}
+	script(c0, c1, el, vp)
+	counts, _ := m.LevelProfile()
+	return m.Stats(), counts
+}
+
+// TestLineBufferStatsEquivalence drives an adversarial access script —
+// repeated same-line streaming reads, a cross-core write that
+// invalidates the buffered line, interleaved vtxProp traffic, and an
+// iteration boundary — with the line buffer enabled and disabled. The
+// fast path must be invisible: identical stats and level profile.
+func TestLineBufferStatsEquivalence(t *testing.T) {
+	script := func(c0, c1 *Ctx, el, vp *Region) {
+		m := c0.m
+		for i := 0; i < 32; i++ {
+			c0.Read(el, i%8) // same few lines, repeatedly
+		}
+		c1.Write(el, 0) // coherence invalidation of core 0's buffered line
+		c0.Read(el, 1)  // must re-probe, not replay the stale memo
+		for i := 0; i < 16; i++ {
+			c0.Read(vp, i) // excluded kind, interleaved
+			c0.Read(el, i%4)
+		}
+		m.BeginIteration()
+		c0.Read(el, 0)
+		c1.Read(el, 0) // cross-core read of the written line (c2c downgrade)
+		c0.Write(el, 2)
+		c0.Read(el, 2)
+	}
+	on := testBaseline()
+	off := testBaseline()
+	off.DisableLineBuffer = true
+	stOn, lvOn := runSeq(on, script)
+	stOff, lvOff := runSeq(off, script)
+	if !reflect.DeepEqual(stOn, stOff) {
+		t.Fatalf("stats diverge with line buffer enabled:\non:  %+v\noff: %+v", stOn, stOff)
+	}
+	if !reflect.DeepEqual(lvOn, lvOff) {
+		t.Fatalf("level profile diverges:\non:  %v\noff: %v", lvOn, lvOff)
+	}
+	if stOn.Invalidations == 0 {
+		t.Fatal("script did not exercise a coherence invalidation")
+	}
+}
+
+// TestLineBufferCoherenceWrite pins the cross-core write edge against
+// the MESI-lite model. The directory counts an invalidation message and
+// truncates the sharer list, but it does not physically remove the
+// other core's L1 copy — a full probe after the write still hits the
+// stale-but-present line (that is why the residency superset mask
+// exists). The memo must therefore keep validating: replaying it is
+// exactly what the full probe would do. Physical L1 invalidation only
+// happens on L2 back-invalidation, covered at the cache level by
+// TestInvalidateDropsMemoAndBumpsGen; the composed bit-identity is
+// proven by TestLineBufferStatsEquivalence, whose script includes this
+// same cross-core write.
+func TestLineBufferCoherenceWrite(t *testing.T) {
+	m := NewMachine(testBaseline())
+	el := m.Alloc("el", 4096, 8, memsys.KindEdgeList)
+	c0 := &Ctx{m: m, core: 0}
+	c1 := &Ctx{m: m, core: 1}
+	c0.Read(el, 0)
+	if !armed(m, 0, el, 0) {
+		t.Fatal("read did not arm the line buffer")
+	}
+	c1.Write(el, 0)
+	if m.Stats().Invalidations == 0 {
+		t.Fatal("cross-core write did not raise a directory invalidation")
+	}
+	// The stale copy is still present in core 0's L1, so the memo must
+	// still validate — dropping it here would desynchronize the fast
+	// path from the full probe's hit/miss outcome.
+	if !armed(m, 0, el, 0) {
+		t.Fatal("memo died on a cross-core write; the full probe would still hit the stale L1 copy")
+	}
+	hitsBefore := m.path.l1[0].Reads.Hits
+	c0.Read(el, 0)
+	if m.path.l1[0].Reads.Hits != hitsBefore+1 {
+		t.Fatal("full-probe semantics changed: post-write read on the stale copy should hit L1")
+	}
+}
+
+// TestLineBufferIterationAndConfigEpochs checks the machine-level
+// conservative invalidations: BeginIteration and ConfigureGraph each
+// bump the fast epoch, dropping every core's memo.
+func TestLineBufferIterationAndConfigEpochs(t *testing.T) {
+	m := NewMachine(testOMEGA())
+	el := m.Alloc("el", 4096, 8, memsys.KindEdgeList)
+	vp := m.Alloc("vp", 4096, 8, memsys.KindVtxProp)
+	c0 := &Ctx{m: m, core: 0}
+
+	c0.Read(el, 0)
+	if !armed(m, 0, el, 0) {
+		t.Fatal("read did not arm the line buffer")
+	}
+	m.BeginIteration() // scratchpad InvalidateSrcBufs + epoch bump
+	if armed(m, 0, el, 0) {
+		t.Fatal("memo survived BeginIteration")
+	}
+
+	c0.Read(el, 0)
+	if !armed(m, 0, el, 0) {
+		t.Fatal("re-probe did not re-arm the line buffer")
+	}
+	m.ConfigureGraph([]scratchpad.MonitorRegister{m.MonitorFor(vp)}, 4096,
+		pisc.StandardMicrocode("t", pisc.OpFPAdd, false, false))
+	if armed(m, 0, el, 0) {
+		t.Fatal("memo survived ConfigureGraph")
+	}
+}
+
+// TestLineBufferFaultDegrade checks the resilience edge: a scratchpad
+// parity trip degrades the vertex to the cache path and must
+// conservatively drop the tripping core's memo (via Cache.DropHot).
+func TestLineBufferFaultDegrade(t *testing.T) {
+	cfg := testOMEGA()
+	cfg.Faults = faults.Config{Seed: 1, SPParityRate: 1} // every SP access trips
+	m := NewMachine(cfg)
+	el := m.Alloc("el", 4096, 8, memsys.KindEdgeList)
+	vp := m.Alloc("vp", 4096, 8, memsys.KindVtxProp)
+	resident := m.ConfigureGraph([]scratchpad.MonitorRegister{m.MonitorFor(vp)}, 4096,
+		pisc.StandardMicrocode("t", pisc.OpFPAdd, false, false))
+	if resident < 1 {
+		t.Fatal("no scratchpad-resident vertices")
+	}
+	c0 := &Ctx{m: m, core: 0}
+	c0.Read(el, 0)
+	if !armed(m, 0, el, 0) {
+		t.Fatal("read did not arm the line buffer")
+	}
+	c0.Read(vp, 0) // resident vertex, parity trips, degrade path runs
+	if m.Stats().SPDegraded == 0 {
+		t.Fatal("parity trip did not degrade the vertex")
+	}
+	if armed(m, 0, el, 0) {
+		t.Fatal("memo survived a fault degrade on the same core")
+	}
+}
+
+// TestLineBufferMachineReset checks that Reset disarms the per-core
+// buffers and that a pre-Reset memo can never validate afterwards (the
+// cache generation is monotonic across Reset).
+func TestLineBufferMachineReset(t *testing.T) {
+	m := NewMachine(testBaseline())
+	el := m.Alloc("el", 4096, 8, memsys.KindEdgeList)
+	c0 := &Ctx{m: m, core: 0}
+	c0.Read(el, 0)
+	if !armed(m, 0, el, 0) {
+		t.Fatal("read did not arm the line buffer")
+	}
+	genBefore := m.path.l1[0].Gen() + m.fastEpoch
+	m.Reset()
+	if armed(m, 0, el, 0) {
+		t.Fatal("memo survived Machine.Reset")
+	}
+	if m.path.l1[0].Gen()+m.fastEpoch <= genBefore {
+		t.Fatal("generation did not advance across Reset; stale memos could validate")
+	}
+}

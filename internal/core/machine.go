@@ -17,6 +17,16 @@ import (
 // the execution-driven scheduler the framework runs on. A Machine is
 // single-threaded by design: the simulation is deterministic event
 // scheduling, not host parallelism.
+//
+// Distinct Machines are fully independent: every piece of mutable
+// simulation state — cores, caches, the coherence directory, DRAM and
+// NoC queues, fault-injector PRNG streams, the ParallelForGrain sched
+// scratch, and the stats counters read by ElapsedCycles/Stats — is
+// owned by the Machine value, and the core packages hold no package-
+// level mutable state. Concurrent goroutines may therefore each drive
+// their own Machine (the experiment harness fans machine variants out
+// this way), sharing only immutable inputs such as a built
+// *graph.Graph.
 type Machine struct {
 	cfg    Config
 	cores  []*cpu.Core
@@ -43,6 +53,14 @@ type Machine struct {
 	// LevelProfile materializes the string-keyed view on demand.
 	levelCount   [2 * memsys.NumLevels]uint64
 	levelLatency [2 * memsys.NumLevels]uint64
+
+	// fastEpoch is the machine half of the line-buffer generation: the
+	// per-core fast path validates its memo against l1.Gen()+fastEpoch,
+	// so bumping fastEpoch invalidates every core's line buffer at once.
+	// It advances on machine-level events the caches cannot see —
+	// BeginIteration and ConfigureGraph — as a conservative guard on top
+	// of the caches' own precise generations.
+	fastEpoch uint64
 
 	// sched is the ParallelForGrain scratch state (chunk cursors, per-core
 	// contexts, the clock-ordered core heap), reused across parallel
@@ -159,6 +177,7 @@ func (m *Machine) MonitorFor(r *Region) scratchpad.MonitorRegister {
 // are scratchpad-resident (0 on the baseline machine). The framework calls
 // this once per run, before the algorithm starts.
 func (m *Machine) ConfigureGraph(monitors []scratchpad.MonitorRegister, totalVertices int, mc pisc.Microcode) int {
+	m.fastEpoch++
 	if m.omega == nil {
 		if m.cfg.LockedLines {
 			return m.lockHotLines(monitors, totalVertices)
@@ -214,9 +233,12 @@ func (m *Machine) EnableVertexProfile(numVertices int) {
 // VertexProfile returns the per-vertex vtxProp access counts, or nil.
 func (m *Machine) VertexProfile() []uint64 { return m.vertexProfile }
 
-// BeginIteration marks an algorithm iteration boundary.
+// BeginIteration marks an algorithm iteration boundary. It also bumps the
+// line-buffer epoch: iteration boundaries change iteration-scoped state
+// (source vertex buffers), so every core's fast-path memo is dropped.
 func (m *Machine) BeginIteration() {
 	m.iterations.Inc()
+	m.fastEpoch++
 	m.hier.BeginIteration()
 }
 
@@ -268,7 +290,12 @@ func (c *Ctx) access(r *Region, i int, op memsys.Op, srcRead, dependent bool) {
 		c.m.srcReads.Inc()
 	}
 	core := c.m.cores[c.core]
-	res := c.m.hier.Access(core.Clock(), a)
+	var res memsys.Result
+	if op == memsys.OpRead && r.Kind != memsys.KindVtxProp && !c.m.cfg.DisableLineBuffer {
+		res = c.m.fastRead(core, a)
+	} else {
+		res = c.m.hier.Access(core.Clock(), a)
+	}
 	if c.m.tracer != nil {
 		c.m.tracer.Record(core.Clock(), a, res)
 	}
@@ -276,6 +303,44 @@ func (c *Ctx) access(r *Region, i int, op memsys.Op, srcRead, dependent bool) {
 	c.m.levelCount[li]++
 	c.m.levelLatency[li] += uint64(res.Latency)
 	core.Mem(res)
+}
+
+// fastRead serves a non-atomic, non-vtxProp read, short-circuiting through
+// the core's one-entry line buffer when it provably hits the line of the
+// core's most recent L1 read hit.
+//
+// Bit-identity argument: the fast path applies only to plain reads of the
+// streaming kinds (edgeList, nGraphData, activeList), which on both
+// hierarchies flow straight to the cache path — vtxProp is excluded
+// because OMEGA routes it through the scratchpad monitor, where residency
+// is per-vertex (two vertices in one 64 B line can differ) and resident
+// accesses consume fault-PRNG draws. A cache-path L1 read hit has exactly
+// three side effects — use-clock tick, LRU touch, read-hit counter — and a
+// constant result {l1HitLat, Dependent, LevelL1}; it touches no directory,
+// NoC, DRAM, or fault state. Cache.SameLineReadHit replays those three
+// effects exactly, and only when the memoized line is provably the line a
+// full probe would hit (the memo dies on any eviction/invalidation of that
+// line). The generation check (l1.Gen() + fastEpoch) additionally drops
+// every memo on machine-level events: BeginIteration, ConfigureGraph, and
+// fault degrades (via Cache.DropHot).
+func (m *Machine) fastRead(core *cpu.Core, a memsys.Access) memsys.Result {
+	l1 := m.path.l1[a.Core]
+	line := memsys.LineAddr(a.Addr)
+	gen := l1.Gen() + m.fastEpoch
+	if lat, level, ok := core.LineBufLookup(line, gen); ok && l1.SameLineReadHit(line) {
+		return memsys.Result{Latency: lat, Blocking: a.Dependent, Level: level}
+	}
+	res := m.hier.Access(core.Clock(), a)
+	// Arm the buffer for the next same-line read, whether this one hit
+	// (the probe seeded the cache memo) or missed (the fill did, via
+	// FillStream). The stored timing is what a future same-line read
+	// returns: an L1 hit at the L1's hit latency — not this access's own
+	// result. If the line is in fact absent (fill rejected by a fully
+	// pinned set), the memo was not seeded and SameLineReadHit refuses,
+	// so a stale arm costs a lookup, never correctness. The generation is
+	// re-read after the probe: its fills may have advanced it.
+	core.LineBufStore(line, l1.Gen()+m.fastEpoch, l1.Latency(), memsys.LevelL1)
+	return res
 }
 
 // SetTracer installs an access tracer (nil disables tracing).
@@ -414,6 +479,10 @@ func (m *Machine) ParallelForGrain(n, chunk int, body func(ctx *Ctx, i int)) {
 
 // acquireSched hands out the machine's scheduling scratch, sized for p
 // cores, or fresh state if a nested parallel region already holds it.
+// The scratch is per-Machine state, never pooled across machines, so
+// variant goroutines each driving their own Machine cannot share one;
+// busy is only ever touched by the single goroutine driving this
+// Machine (it guards re-entrancy, not concurrency).
 func (m *Machine) acquireSched(p int) *schedState {
 	s := &m.sched
 	if s.busy {

@@ -84,6 +84,10 @@ func (h *omegaHier) degrade(now memsys.Cycles, a memsys.Access, v uint32, penalt
 	if h.ctrl.MarkFaulty(v) {
 		h.faults.NoteSPDegraded()
 	}
+	// A parity trip re-routes this vertex to the cache hierarchy for good:
+	// conservatively drop the core's line-buffer memo so the next read
+	// re-probes under the new routing.
+	h.l1[a.Core].DropHot()
 	res := h.cachePath.Access(now, a)
 	res.Latency += penalty
 	res.Level = memsys.LevelSPDegraded

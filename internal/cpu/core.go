@@ -12,6 +12,7 @@ package cpu
 
 import (
 	"fmt"
+	"math/bits"
 
 	"omega/internal/memsys"
 )
@@ -100,6 +101,11 @@ type Core struct {
 	// accesses, unordered; len <= maxMLP.
 	outstanding []memsys.Cycles
 	maxMLP      int
+	// ipc is the effective retire rate (Width/2, min 1), precomputed;
+	// ipcShift is log2(ipc) when ipc is a power of two (else -1), so the
+	// per-Exec division strength-reduces to a shift in the common config.
+	ipc      int
+	ipcShift int
 
 	breakdown    Breakdown
 	instructions uint64
@@ -113,6 +119,20 @@ type Core struct {
 	WindowStall   memsys.Cycles
 	DrainStall    memsys.Cycles
 	OffloadStall  memsys.Cycles
+
+	// lineBuf is the core's one-entry line buffer (the gem5-style fast
+	// path): the 64 B line of this core's most recent L1 read hit, the
+	// invalidation generation under which it was observed, and the timing
+	// the full probe returned. The machine consults it to short-circuit a
+	// repeated non-atomic read to the same line; any generation mismatch
+	// falls back to the full hierarchy probe.
+	lineBuf struct {
+		line  memsys.Addr
+		gen   uint64
+		lat   memsys.Cycles
+		level memsys.Level
+		valid bool
+	}
 }
 
 // New builds a core with the given ID.
@@ -120,7 +140,15 @@ func New(id int, cfg Config) *Core {
 	if cfg.Width <= 0 {
 		panic(fmt.Sprintf("cpu: core %d invalid width", id))
 	}
-	return &Core{ID: id, cfg: cfg, maxMLP: cfg.maxMLP()}
+	ipc := cfg.Width / 2
+	if ipc < 1 {
+		ipc = 1
+	}
+	shift := -1
+	if ipc&(ipc-1) == 0 {
+		shift = bits.TrailingZeros(uint(ipc))
+	}
+	return &Core{ID: id, cfg: cfg, maxMLP: cfg.maxMLP(), ipc: ipc, ipcShift: shift}
 }
 
 // Clock returns the core's local time.
@@ -148,16 +176,20 @@ func (c *Core) Exec(ops int) {
 		return
 	}
 	c.instructions += uint64(ops)
-	ipc := c.cfg.Width / 2
-	if ipc < 1 {
-		ipc = 1
+	n := ops + c.ipc - 1
+	var cycles memsys.Cycles
+	if c.ipcShift >= 0 {
+		cycles = memsys.Cycles(n >> uint(c.ipcShift))
+	} else {
+		cycles = memsys.Cycles(n / c.ipc)
 	}
-	cycles := memsys.Cycles((ops + ipc - 1) / ipc)
 	c.clock += cycles
 	c.breakdown.Retiring += cycles
-	// Frontend bubbles accrue per instruction.
+	// Frontend bubbles accrue per instruction; the quotient is only
+	// computed once a whole bubble has accrued (fb > 0 iff accum >= den).
 	c.frontendAccum += ops * c.cfg.FrontendBubbleNum
-	if fb := c.frontendAccum / c.cfg.FrontendBubbleDen; fb > 0 {
+	if c.frontendAccum >= c.cfg.FrontendBubbleDen {
+		fb := c.frontendAccum / c.cfg.FrontendBubbleDen
 		c.frontendAccum -= fb * c.cfg.FrontendBubbleDen
 		c.clock += memsys.Cycles(fb)
 		c.breakdown.Frontend += memsys.Cycles(fb)
@@ -233,6 +265,31 @@ func (c *Core) Mem(res memsys.Result) {
 	c.outstanding = append(c.outstanding, c.clock+res.Latency)
 }
 
+// LineBufLookup consults the one-entry line buffer: if line matches the
+// buffered line and gen matches the generation it was observed under, the
+// memoized hit timing is returned. A false result means the caller must
+// take the full hierarchy probe (and may re-arm the buffer via
+// LineBufStore).
+func (c *Core) LineBufLookup(line memsys.Addr, gen uint64) (memsys.Cycles, memsys.Level, bool) {
+	if !c.lineBuf.valid || c.lineBuf.line != line || c.lineBuf.gen != gen {
+		return 0, 0, false
+	}
+	return c.lineBuf.lat, c.lineBuf.level, true
+}
+
+// LineBufStore arms the line buffer with the timing a full probe just
+// returned for line under generation gen.
+func (c *Core) LineBufStore(line memsys.Addr, gen uint64, lat memsys.Cycles, level memsys.Level) {
+	c.lineBuf.line = line
+	c.lineBuf.gen = gen
+	c.lineBuf.lat = lat
+	c.lineBuf.level = level
+	c.lineBuf.valid = true
+}
+
+// LineBufClear disarms the line buffer.
+func (c *Core) LineBufClear() { c.lineBuf.valid = false }
+
 // DrainWindow stalls until every outstanding access has completed; used at
 // parallel-region barriers.
 func (c *Core) DrainWindow() {
@@ -257,4 +314,5 @@ func (c *Core) Reset() {
 	c.WindowStall = 0
 	c.DrainStall = 0
 	c.OffloadStall = 0
+	c.LineBufClear()
 }

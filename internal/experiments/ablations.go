@@ -26,9 +26,8 @@ func AblationScratchpadOnly(o Options) *Table {
 		noPisc := omCfg
 		noPisc.PISC = false
 		noPisc.Name = "omega-nopisc"
-		base := spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g))
-		sp := spec.Run(ligra.New(core.NewMachine(noPisc), pr.g))
-		full := spec.Run(ligra.New(core.NewMachine(omCfg), pr.g))
+		res := runMachines(o, spec, pr.g, baseCfg, noPisc, omCfg)
+		base, sp, full := res[0], res[1], res[2]
 		t.AddRow(name, sp.Speedup(base), full.Speedup(base))
 	}
 	t.Notes = append(t.Notes, "paper: 1.3x storage-only vs >3x with PISCs on lj")
@@ -49,11 +48,11 @@ func AblationAtomicOverhead(o Options) *Table {
 	for _, name := range []string{"rmat", "social"} {
 		pr := prepareDataset(mustDataset(name), o, false)
 		baseCfg, _ := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, o.Coverage)
-		atomic := spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g))
 		plainCfg := baseCfg
 		plainCfg.AtomicsAsPlain = true
 		plainCfg.Name = "baseline-plain"
-		plain := spec.Run(ligra.New(core.NewMachine(plainCfg), pr.g))
+		res := runMachines(o, spec, pr.g, baseCfg, plainCfg)
+		atomic, plain := res[0], res[1]
 		ovh := 100 * (float64(atomic.Cycles)/float64(plain.Cycles) - 1)
 		t.AddRow(name, uint64(atomic.Cycles), uint64(plain.Cycles), ovh)
 	}
@@ -75,17 +74,23 @@ func AblationReordering(o Options) *Table {
 		Header: []string{"ordering", "cycles", "speedup vs original"},
 	}
 	orig := rawDataset(mustDataset("rmat"), o, false)
-	var baseCycles uint64
-	for _, m := range []reorder.Method{
+	methods := []reorder.Method{
 		reorder.Identity, reorder.InDegree, reorder.OutDegree, reorder.SlashBurn,
-	} {
-		g := reorder.Apply(orig, reorder.Compute(orig, m))
-		baseCfg, _ := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, o.Coverage)
-		st := spec.Run(ligra.New(core.NewMachine(baseCfg), g))
-		if m == reorder.Identity {
-			baseCycles = uint64(st.Cycles)
+	}
+	fns := make([]func() core.MachineStats, len(methods))
+	for i, m := range methods {
+		fns[i] = func() core.MachineStats {
+			g := reorder.Apply(orig, reorder.Compute(orig, m))
+			baseCfg, _ := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, o.Coverage)
+			return spec.Run(ligra.New(core.NewMachine(baseCfg), g))
 		}
-		t.AddRow(m.String(), uint64(st.Cycles),
+	}
+	// The speedup column is relative to Identity, so rows are computed
+	// after the variant merge, in method order.
+	res := runVariants(o, fns...)
+	baseCycles := uint64(res[0].Cycles)
+	for i, st := range res {
+		t.AddRow(methods[i].String(), uint64(st.Cycles),
 			fmt.Sprintf("%.1f%%", 100*(float64(baseCycles)/float64(st.Cycles)-1)))
 	}
 	t.Notes = append(t.Notes,
@@ -109,11 +114,14 @@ func AblationChunkMapping(o Options) *Table {
 	_, omCfg := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, o.Coverage)
 	omCfg.DynamicSchedule = false // static scheduling is the §V.D setting
 	omCfg.PISC = false            // isolate access locality from PISC load balance
-	for _, spChunk := range []int{omCfg.OpenMPChunk, 1} {
-		cfg := omCfg
-		cfg.SPChunkSize = spChunk
-		st := spec.Run(ligra.New(core.NewMachine(cfg), pr.g))
-		t.AddRow(spChunk, cfg.OpenMPChunk, 100*st.SPLocalFraction, uint64(st.Cycles))
+	chunks := []int{omCfg.OpenMPChunk, 1}
+	cfgs := make([]core.Config, len(chunks))
+	for i, spChunk := range chunks {
+		cfgs[i] = omCfg
+		cfgs[i].SPChunkSize = spChunk
+	}
+	for i, st := range runMachines(o, spec, pr.g, cfgs...) {
+		t.AddRow(chunks[i], omCfg.OpenMPChunk, 100*st.SPLocalFraction, uint64(st.Cycles))
 	}
 	t.Notes = append(t.Notes,
 		"matched chunks turn the sequential copy's scratchpad accesses local (§V.D)")
@@ -138,9 +146,8 @@ func AblationLockedCache(o Options) *Table {
 		lockedCfg := baseCfg
 		lockedCfg.LockedLines = true
 		lockedCfg.Name = "locked-cache"
-		base := spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g))
-		locked := spec.Run(ligra.New(core.NewMachine(lockedCfg), pr.g))
-		om := spec.Run(ligra.New(core.NewMachine(omCfg), pr.g))
+		res := runMachines(o, spec, pr.g, baseCfg, lockedCfg, omCfg)
+		base, locked, om := res[0], res[1], res[2]
 		t.AddRow(name,
 			locked.Speedup(base), om.Speedup(base),
 			float64(base.NoCBytes)/float64(locked.NoCBytes),
@@ -171,9 +178,8 @@ func AblationPrefetcher(o Options) *Table {
 		pfCfg := baseCfg
 		pfCfg.L1Prefetch = true
 		pfCfg.Name = "baseline+prefetch"
-		base := spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g))
-		pf := spec.Run(ligra.New(core.NewMachine(pfCfg), pr.g))
-		om := spec.Run(ligra.New(core.NewMachine(omCfg), pr.g))
+		res := runMachines(o, spec, pr.g, baseCfg, pfCfg, omCfg)
+		base, pf, om := res[0], res[1], res[2]
 		t.AddRow(name, om.Speedup(base), om.Speedup(pf))
 	}
 	t.Notes = append(t.Notes,

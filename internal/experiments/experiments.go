@@ -36,6 +36,12 @@ type Options struct {
 	// Timeout is the per-experiment watchdog applied by Suite and the
 	// context-aware facade entry points. Zero disables the watchdog.
 	Timeout time.Duration
+	// SerialVariants disables the per-variant goroutine fan-out inside
+	// individual runners (see runVariants), forcing machine variants to
+	// execute one after another on the runner goroutine. Tables are
+	// identical either way; the switch exists for debugging and for
+	// single-CPU environments where the fan-out buys nothing.
+	SerialVariants bool
 	// Datasets memoizes graph construction across runners so experiments
 	// sharing a (generator, scale, seed, reorder) tuple build the graph
 	// once. Nil means every runner generates its graphs from scratch.

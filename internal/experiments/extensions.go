@@ -109,15 +109,17 @@ func ExtensionPagePolicy(o Options) *Table {
 		{"close-page", func(c *core.Config) { c.DRAM.ClosePage = true }},
 		{"hybrid (§IX)", func(c *core.Config) { c.HybridPagePolicy = true }},
 	}
-	var openCycles float64
-	for _, v := range variants {
-		cfg := omCfg
-		v.mut(&cfg)
-		st := spec.Run(ligra.New(core.NewMachine(cfg), pr.g))
-		if v.name == "open-page" {
-			openCycles = float64(st.Cycles)
-		}
-		t.AddRow(v.name, uint64(st.Cycles), 100*st.DRAMRowHit,
+	cfgs := make([]core.Config, len(variants))
+	for i, v := range variants {
+		cfgs[i] = omCfg
+		v.mut(&cfgs[i])
+	}
+	// The speedup column is relative to the open-page variant (declared
+	// first), so rows are assembled after the variant merge.
+	res := runMachines(o, spec, pr.g, cfgs...)
+	openCycles := float64(res[0].Cycles)
+	for i, st := range res {
+		t.AddRow(variants[i].name, uint64(st.Cycles), 100*st.DRAMRowHit,
 			openCycles/float64(st.Cycles))
 	}
 	t.Notes = append(t.Notes,
@@ -146,19 +148,26 @@ func ExtensionGraphMat(o Options) *Table {
 	for _, name := range []string{"rmat", "social"} {
 		pr := prepareDataset(mustDataset(name), o, false)
 		baseCfg, omCfg := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, o.Coverage)
-		// Ligra-style.
-		lb := spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g))
-		lo := spec.Run(ligra.New(core.NewMachine(omCfg), pr.g))
 		// GraphMat-style: its footprint is two 8-byte vtxProps per vertex
 		// (property + message accumulator), so its machines are sized for
-		// 16 B/vertex — like Radii's 12 B in the Ligra suite.
+		// 16 B/vertex — like Radii's 12 B in the Ligra suite. All four
+		// variants — two frameworks × two machines — fan out together.
 		gmBaseCfg, gmOmCfg := core.ScaledPair(pr.g.NumVertices(), 16, o.Coverage)
-		mb := core.NewMachine(gmBaseCfg)
-		graphmat.RunPageRank(mb, pr.g, 1, 0.85)
-		gb := mb.Stats()
-		mo := core.NewMachine(gmOmCfg)
-		graphmat.RunPageRank(mo, pr.g, 1, 0.85)
-		gm := mo.Stats()
+		res := runVariants(o,
+			func() core.MachineStats { return spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g)) },
+			func() core.MachineStats { return spec.Run(ligra.New(core.NewMachine(omCfg), pr.g)) },
+			func() core.MachineStats {
+				mb := core.NewMachine(gmBaseCfg)
+				graphmat.RunPageRank(mb, pr.g, 1, 0.85)
+				return mb.Stats()
+			},
+			func() core.MachineStats {
+				mo := core.NewMachine(gmOmCfg)
+				graphmat.RunPageRank(mo, pr.g, 1, 0.85)
+				return mo.Stats()
+			},
+		)
+		lb, lo, gb, gm := res[0], res[1], res[2], res[3]
 		t.AddRow(name, lo.Speedup(lb), gm.Speedup(gb), gm.PISCOps, gb.Atomics)
 	}
 	t.Notes = append(t.Notes,
@@ -183,15 +192,22 @@ func ExtensionScaleRobustness(o Options) *Table {
 		Header: []string{"scale (log2 V)", "speedup", "baseline LLC%",
 			"omega LLC+SP%", "traffic reduction x"},
 	}
-	for _, scale := range []int{11, 12, 13, 14} {
-		so := o
-		so.Scale = scale
-		pr := prepareDataset(mustDataset("rmat"), so, false)
-		mb, mo := machinesFor(pr.g, spec.VtxPropBytes, so)
-		base := spec.Run(ligra.New(mb, pr.g))
-		om := spec.Run(ligra.New(mo, pr.g))
-		t.AddRow(scale, om.Speedup(base), 100*base.LLCHitRate, 100*om.LLCHitRate,
-			float64(base.NoCBytes)/float64(om.NoCBytes))
+	scales := []int{11, 12, 13, 14}
+	type point struct{ base, om core.MachineStats }
+	fns := make([]func() point, len(scales))
+	for i, scale := range scales {
+		fns[i] = func() point {
+			so := o
+			so.Scale = scale
+			pr := prepareDataset(mustDataset("rmat"), so, false)
+			bCfg, oCfg := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, so.Coverage)
+			res := runMachines(so, spec, pr.g, bCfg, oCfg)
+			return point{res[0], res[1]}
+		}
+	}
+	for i, p := range runVariants(o, fns...) {
+		t.AddRow(scales[i], p.om.Speedup(p.base), 100*p.base.LLCHitRate,
+			100*p.om.LLCHitRate, float64(p.base.NoCBytes)/float64(p.om.NoCBytes))
 	}
 	t.Notes = append(t.Notes,
 		"the speedup, hit-rate gap, and traffic reduction must stay in their",
@@ -213,16 +229,20 @@ func ExtensionSeedSensitivity(o Options) *Table {
 	}
 	for _, name := range []string{"rmat", "social", "web", "road"} {
 		ds := mustDataset(name)
-		var sum, min, max float64
 		const reps = 5
+		fns := make([]func() float64, reps)
 		for rep := 0; rep < reps; rep++ {
-			so := o
-			so.Seed = o.Seed + uint64(rep)*1000
-			pr := prepareDataset(ds, so, false)
-			mb, mo := machinesFor(pr.g, spec.VtxPropBytes, so)
-			base := spec.Run(ligra.New(mb, pr.g))
-			om := spec.Run(ligra.New(mo, pr.g))
-			sp := om.Speedup(base)
+			fns[rep] = func() float64 {
+				so := o
+				so.Seed = o.Seed + uint64(rep)*1000
+				pr := prepareDataset(ds, so, false)
+				bCfg, oCfg := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, so.Coverage)
+				res := runMachines(so, spec, pr.g, bCfg, oCfg)
+				return res[1].Speedup(res[0])
+			}
+		}
+		var sum, min, max float64
+		for rep, sp := range runVariants(o, fns...) {
 			sum += sp
 			if rep == 0 || sp < min {
 				min = sp
@@ -271,8 +291,11 @@ func ExtensionTraversalDirection(o Options) *Table {
 			return fw.Machine().Stats()
 		}
 		baseCfg, omCfg := core.ScaledPair(pr.g.NumVertices(), 4, o.Coverage)
-		base := run(baseCfg)
-		om := run(omCfg)
+		res := runVariants(o,
+			func() core.MachineStats { return run(baseCfg) },
+			func() core.MachineStats { return run(omCfg) },
+		)
+		base, om := res[0], res[1]
 		t.AddRow(v.name, uint64(base.Cycles), uint64(om.Cycles),
 			om.Speedup(base), base.Atomics)
 	}
@@ -344,12 +367,22 @@ func growGraph(g *graph.Graph, growthPct int, seed uint64) *graph.Graph {
 // the share of vtxProp accesses covered by the scratchpad-resident prefix.
 func dynamicRun(spec algorithms.Spec, g *graph.Graph, o Options) (speedup, hotCoverage float64) {
 	baseCfg, omCfg := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, o.Coverage)
-	mb := core.NewMachine(baseCfg)
-	baseSt := spec.Run(ligra.New(mb, g))
-	mo := core.NewMachine(omCfg)
-	mo.EnableVertexProfile(g.NumVertices())
-	omSt := spec.Run(ligra.New(mo, g))
-	prof := mo.VertexProfile()
+	type result struct {
+		st   core.MachineStats
+		prof []uint64
+	}
+	res := runVariants(o,
+		func() result {
+			return result{st: spec.Run(ligra.New(core.NewMachine(baseCfg), g))}
+		},
+		func() result {
+			mo := core.NewMachine(omCfg)
+			mo.EnableVertexProfile(g.NumVertices())
+			st := spec.Run(ligra.New(mo, g))
+			return result{st: st, prof: mo.VertexProfile()}
+		},
+	)
+	baseSt, omSt, prof := res[0].st, res[1].st, res[1].prof
 	var hot, total uint64
 	resident := omSt.SPResident
 	for v, c := range prof {

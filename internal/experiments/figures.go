@@ -22,14 +22,15 @@ func datasetFor(spec algorithms.Spec, ds Dataset) (Dataset, bool) {
 	return ds, true
 }
 
-// runPair runs one algorithm on one dataset on both machines.
+// runPair runs one algorithm on one dataset on both machines. The
+// dataset is built (or fetched from the shared cache) before the two
+// machine variants fan out concurrently; see runVariants.
 func runPair(spec algorithms.Spec, ds Dataset, o Options) (base, om core.MachineStats, pr prepared) {
 	weighted := spec.Name == "SSSP"
 	pr = prepareDataset(ds, o, weighted)
-	mb, mo := machinesFor(pr.g, spec.VtxPropBytes, o)
-	base = spec.Run(ligra.New(mb, pr.g))
-	om = spec.Run(ligra.New(mo, pr.g))
-	return base, om, pr
+	bCfg, oCfg := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, o.Coverage)
+	res := runMachines(o, spec, pr.g, bCfg, oCfg)
+	return res[0], res[1], pr
 }
 
 // Figure3 reproduces the TMAM execution breakdown: graph workloads are
@@ -42,22 +43,28 @@ func Figure3(o Options) *Table {
 		Title:  "TMAM execution breakdown on the baseline CMP",
 		Header: []string{"workload", "retiring%", "frontend%", "backend%", "memory-bound%"},
 	}
+	specs := algorithms.All()
+	fns := make([]func() core.MachineStats, len(specs))
+	for i, spec := range specs {
+		fns[i] = func() core.MachineStats {
+			ds := mustDataset("rmat")
+			if spec.NeedsUndirected {
+				ds = mustDataset("apu")
+			}
+			pr := prepareDataset(ds, o, spec.Name == "SSSP")
+			mb, _ := machinesFor(pr.g, spec.VtxPropBytes, o)
+			return spec.Run(ligra.New(mb, pr.g))
+		}
+	}
 	var memSum float64
 	var n int
-	for _, spec := range algorithms.All() {
-		ds := mustDataset("rmat")
-		if spec.NeedsUndirected {
-			ds = mustDataset("apu")
-		}
-		pr := prepareDataset(ds, o, spec.Name == "SSSP")
-		mb, _ := machinesFor(pr.g, spec.VtxPropBytes, o)
-		st := spec.Run(ligra.New(mb, pr.g))
+	for i, st := range runVariants(o, fns...) {
 		tot := float64(st.TMAM.Total())
 		if tot == 0 {
 			continue
 		}
 		mem := 100 * float64(st.TMAM.MemoryBound) / tot
-		t.AddRow(spec.Name,
+		t.AddRow(specs[i].Name,
 			100*float64(st.TMAM.Retiring)/tot,
 			100*float64(st.TMAM.Frontend)/tot,
 			100*float64(st.TMAM.MemoryBound+st.TMAM.CoreBound)/tot,
@@ -80,15 +87,25 @@ func Figure4a(o Options) *Table {
 		Title:  "baseline cache hit rates per workload",
 		Header: []string{"workload", "dataset", "L1%", "L2(LLC)%"},
 	}
-	for _, spec := range algorithms.All() {
-		ds := mustDataset("rmat")
-		if spec.NeedsUndirected {
-			ds = mustDataset("apu")
+	type cell struct {
+		ds string
+		st core.MachineStats
+	}
+	specs := algorithms.All()
+	fns := make([]func() cell, len(specs))
+	for i, spec := range specs {
+		fns[i] = func() cell {
+			ds := mustDataset("rmat")
+			if spec.NeedsUndirected {
+				ds = mustDataset("apu")
+			}
+			pr := prepareDataset(ds, o, spec.Name == "SSSP")
+			mb, _ := machinesFor(pr.g, spec.VtxPropBytes, o)
+			return cell{ds.Name, spec.Run(ligra.New(mb, pr.g))}
 		}
-		pr := prepareDataset(ds, o, spec.Name == "SSSP")
-		mb, _ := machinesFor(pr.g, spec.VtxPropBytes, o)
-		st := spec.Run(ligra.New(mb, pr.g))
-		t.AddRow(spec.Name, ds.Name, 100*st.L1HitRate, 100*st.L2HitRate)
+	}
+	for i, c := range runVariants(o, fns...) {
+		t.AddRow(specs[i].Name, c.ds, 100*c.st.L1HitRate, 100*c.st.L2HitRate)
 	}
 	return t
 }
@@ -102,17 +119,27 @@ func Figure4b(o Options) *Table {
 		Title:  "share of vtxProp accesses to the top-20% most-connected vertices",
 		Header: []string{"workload", "dataset", "top-20% access share %"},
 	}
-	for _, spec := range algorithms.All() {
-		ds := mustDataset("rmat")
-		if spec.NeedsUndirected {
-			ds = mustDataset("apu")
+	type cell struct {
+		ds    string
+		share float64
+	}
+	specs := algorithms.All()
+	fns := make([]func() cell, len(specs))
+	for i, spec := range specs {
+		fns[i] = func() cell {
+			ds := mustDataset("rmat")
+			if spec.NeedsUndirected {
+				ds = mustDataset("apu")
+			}
+			pr := prepareDataset(ds, o, spec.Name == "SSSP")
+			mb, _ := machinesFor(pr.g, spec.VtxPropBytes, o)
+			mb.EnableVertexProfile(pr.g.NumVertices())
+			spec.Run(ligra.New(mb, pr.g))
+			return cell{ds.Name, graph.AccessShareToTopK(pr.g, mb.VertexProfile(), 0.20)}
 		}
-		pr := prepareDataset(ds, o, spec.Name == "SSSP")
-		mb, _ := machinesFor(pr.g, spec.VtxPropBytes, o)
-		mb.EnableVertexProfile(pr.g.NumVertices())
-		spec.Run(ligra.New(mb, pr.g))
-		share := graph.AccessShareToTopK(pr.g, mb.VertexProfile(), 0.20)
-		t.AddRow(spec.Name, ds.Name, 100*share)
+	}
+	for i, c := range runVariants(o, fns...) {
+		t.AddRow(specs[i].Name, c.ds, 100*c.share)
 	}
 	t.Notes = append(t.Notes, "paper: consistently over 75% on power-law graphs")
 	return t
@@ -132,20 +159,24 @@ func Figure5(o Options) *Table {
 		t.Header = append(t.Header, s.Name)
 	}
 	for _, ds := range StandardDatasets() {
-		row := []string{ds.Name}
-		for _, spec := range specs {
+		// One goroutine per supported algorithm cell; the whole row shares
+		// the dataset, merged back in column order.
+		fns := make([]func() string, len(specs))
+		for i, spec := range specs {
 			if _, ok := datasetFor(spec, ds); !ok {
-				row = append(row, "-")
+				fns[i] = func() string { return "-" }
 				continue
 			}
-			pr := prepareDataset(ds, o, spec.Name == "SSSP")
-			mb, _ := machinesFor(pr.g, spec.VtxPropBytes, o)
-			mb.EnableVertexProfile(pr.g.NumVertices())
-			spec.Run(ligra.New(mb, pr.g))
-			share := graph.AccessShareToTopK(pr.g, mb.VertexProfile(), 0.20)
-			row = append(row, fmt.Sprintf("%.0f", 100*share))
+			fns[i] = func() string {
+				pr := prepareDataset(ds, o, spec.Name == "SSSP")
+				mb, _ := machinesFor(pr.g, spec.VtxPropBytes, o)
+				mb.EnableVertexProfile(pr.g.NumVertices())
+				spec.Run(ligra.New(mb, pr.g))
+				share := graph.AccessShareToTopK(pr.g, mb.VertexProfile(), 0.20)
+				return fmt.Sprintf("%.0f", 100*share)
+			}
 		}
-		t.Rows = append(t.Rows, row)
+		t.Rows = append(t.Rows, append([]string{ds.Name}, runVariants(o, fns...)...))
 	}
 	t.Notes = append(t.Notes,
 		"paper: ~90-100 on power-law datasets, ~20-30 on road networks")
@@ -303,10 +334,8 @@ func Figure19(o Options) *Table {
 			// arrays stay 20%-sized; the paper shrinks the SRAM and keeps
 			// the L2 fixed, with the same effect on coverage.
 			omCfg.SPResidentCap = maxInt(int(coverage*float64(pr.g.NumVertices())), 1)
-			mb := core.NewMachine(baseCfg)
-			baseSt := spec.Run(ligra.New(mb, pr.g))
-			mo := core.NewMachine(omCfg)
-			omSt := spec.Run(ligra.New(mo, pr.g))
+			res := runMachines(o, spec, pr.g, baseCfg, omCfg)
+			baseSt, omSt := res[0], res[1]
 			pct := int(coverage*100) - 1
 			if pct < 0 {
 				pct = 0
@@ -376,12 +405,9 @@ func Figure21(o Options) *Table {
 	for _, ds := range StandardDatasets() {
 		pr := prepareDataset(ds, o, false)
 		bCfg, oCfg := core.ScaledPair(pr.g.NumVertices(), spec.VtxPropBytes, o.Coverage)
-		mb := core.NewMachine(bCfg)
-		baseSt := spec.Run(ligra.New(mb, pr.g))
-		mo := core.NewMachine(oCfg)
-		omSt := spec.Run(ligra.New(mo, pr.g))
-		be := power.Energy(bCfg, baseSt)
-		oe := power.Energy(oCfg, omSt)
+		res := runMachines(o, spec, pr.g, bCfg, oCfg)
+		be := power.Energy(bCfg, res[0])
+		oe := power.Energy(oCfg, res[1])
 		saving := oe.Saving(be)
 		t.AddRow(ds.Name, be.TotaluJ(), oe.TotaluJ(), saving, oe.DRAMuJ, oe.SPuJ)
 		sum += saving

@@ -6,7 +6,6 @@ import (
 	"omega/internal/algorithms"
 	"omega/internal/core"
 	"omega/internal/faults"
-	"omega/internal/ligra"
 )
 
 // ResilienceRates are the default injection-rate sweep points of the
@@ -51,9 +50,8 @@ func RunResilience(o Options) *Table {
 			baseCfg.Faults = ResilienceFaults(o.Seed, rate)
 			omCfg.Faults = ResilienceFaults(o.Seed, rate)
 		}
-		base := spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g))
-		om := spec.Run(ligra.New(core.NewMachine(omCfg), pr.g))
-		return base, om
+		res := runMachines(o, spec, pr.g, baseCfg, omCfg)
+		return res[0], res[1]
 	}
 
 	exposedMB := func(s core.MachineStats) float64 {

@@ -21,9 +21,15 @@ func Table1(o Options) *Table {
 		Header: []string{"dataset", "stands-for", "#vertices", "#edges", "type",
 			"in-deg con.%", "out-deg con.%", "power law"},
 	}
-	for _, ds := range StandardDatasets() {
-		g := rawDataset(ds, o, false)
-		s := graph.ComputeDegreeStats(g)
+	dss := StandardDatasets()
+	fns := make([]func() graph.DegreeStats, len(dss))
+	for i, ds := range dss {
+		fns[i] = func() graph.DegreeStats {
+			return graph.ComputeDegreeStats(rawDataset(ds, o, false))
+		}
+	}
+	for i, s := range runVariants(o, fns...) {
+		ds := dss[i]
 		typ := "dir."
 		if s.Undirected {
 			typ = "undir."
@@ -58,7 +64,9 @@ func Table2(o Options) *Table {
 	dir := prepareDataset(mustDataset("rmat"), o, false)
 	dirW := prepareDataset(mustDataset("rmat"), o, true)
 	undir := prepareDataset(mustDataset("apu"), o, false)
-	for _, spec := range algorithms.All() {
+	specs := algorithms.All()
+	fns := make([]func() core.MachineStats, len(specs))
+	for i, spec := range specs {
 		p := dir
 		switch {
 		case spec.NeedsUndirected:
@@ -66,8 +74,13 @@ func Table2(o Options) *Table {
 		case spec.Name == "SSSP":
 			p = dirW
 		}
-		_, om := machinesFor(p.g, spec.VtxPropBytes, o)
-		st := spec.Run(ligra.New(om, p.g))
+		fns[i] = func() core.MachineStats {
+			_, om := machinesFor(p.g, spec.VtxPropBytes, o)
+			return spec.Run(ligra.New(om, p.g))
+		}
+	}
+	for i, st := range runVariants(o, fns...) {
+		spec := specs[i]
 		total := float64(st.TotalAccesses())
 		atomicPct := 100 * float64(st.Atomics) / total
 		randomPct := 100 * float64(st.AccessesByKind[0]) / total // vtxProp

@@ -196,6 +196,13 @@ type Builder struct {
 	edges      []Edge
 	undirected bool
 	weighted   bool
+	// deduped records that edges are (src,dst)-sorted with unique keys
+	// (established by Dedup, broken by AddEdge), letting Build skip both
+	// of its sorts: the out fill consumes the existing order directly,
+	// and scattering that same order into the in buckets yields each
+	// in-list ascending by source — exactly the (dst,src) sort's result,
+	// since unique keys admit only one sorted permutation.
+	deduped bool
 }
 
 // NewBuilder returns a builder for a graph with n vertices.
@@ -217,6 +224,7 @@ func (b *Builder) AddEdge(src, dst VertexID, weight int32) {
 	if b.undirected && src != dst {
 		b.edges = append(b.edges, Edge{dst, src, weight})
 	}
+	b.deduped = false
 }
 
 // NumEdgesAdded returns the number of stored arcs so far.
@@ -225,12 +233,23 @@ func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
 // Dedup removes duplicate (src,dst) pairs, keeping the first weight, and
 // removes self-loops. Useful for synthetic generators.
 func (b *Builder) Dedup() {
-	slices.SortFunc(b.edges, func(x, y Edge) int {
-		if x.Src != y.Src {
-			return cmp.Compare(x.Src, y.Src)
-		}
-		return cmp.Compare(x.Dst, y.Dst)
-	})
+	if b.weighted {
+		// Weighted: "the first weight" after sorting depends on the
+		// comparator sort's (unstable) ordering of equal (src,dst) keys,
+		// so the sort algorithm is part of the observable behaviour.
+		slices.SortFunc(b.edges, func(x, y Edge) int {
+			if x.Src != y.Src {
+				return cmp.Compare(x.Src, y.Src)
+			}
+			return cmp.Compare(x.Dst, y.Dst)
+		})
+	} else {
+		// Unweighted: weights are never materialized by Build, so edges
+		// with equal (src,dst) are observably identical and any sorted
+		// permutation dedups to the same result — a radix sort is free to
+		// replace the comparator sort.
+		radixSortEdges(b.edges)
+	}
 	out := b.edges[:0]
 	var last Edge
 	haveLast := false
@@ -246,6 +265,61 @@ func (b *Builder) Dedup() {
 		haveLast = true
 	}
 	b.edges = out
+	b.deduped = true
+}
+
+// radixSortEdges sorts edges by (Src, Dst) with an LSD counting sort over
+// the packed 64-bit key — four 16-bit digit passes, each stable, so the
+// result is fully sorted. Used on the unweighted Dedup path, where equal
+// keys carry no observable payload and tie order cannot matter.
+func radixSortEdges(edges []Edge) {
+	if len(edges) < 64 {
+		slices.SortFunc(edges, func(x, y Edge) int {
+			if x.Src != y.Src {
+				return cmp.Compare(x.Src, y.Src)
+			}
+			return cmp.Compare(x.Dst, y.Dst)
+		})
+		return
+	}
+	key := func(e Edge) uint64 { return uint64(e.Src)<<32 | uint64(e.Dst) }
+	tmp := make([]Edge, len(edges))
+	count := make([]uint32, 1<<16)
+	src, dst := edges, tmp
+	for pass := 0; pass < 4; pass++ {
+		shift := uint(16 * pass)
+		// Skip a pass whose digit is constant across all edges (common for
+		// the high halves of Src/Dst on small graphs).
+		first := key(src[0]) >> shift & 0xffff
+		constant := true
+		for i := range src {
+			d := key(src[i]) >> shift & 0xffff
+			count[d]++
+			if d != first {
+				constant = false
+			}
+		}
+		if constant {
+			count[first] = 0
+			continue
+		}
+		var sum uint32
+		for d := range count {
+			c := count[d]
+			count[d] = sum
+			sum += c
+		}
+		for i := range src {
+			d := key(src[i]) >> shift & 0xffff
+			dst[count[d]] = src[i]
+			count[d]++
+		}
+		clear(count)
+		src, dst = dst, src
+	}
+	if &src[0] != &edges[0] {
+		copy(edges, src)
+	}
 }
 
 // Build produces the CSR graph. Neighbor lists are sorted by target ID.
@@ -271,13 +345,16 @@ func (b *Builder) Build(name string) *Graph {
 		g.OutOffsets[v+1] += g.OutOffsets[v]
 		g.InOffsets[v+1] += g.InOffsets[v]
 	}
-	// Fill, sorted by (src, dst) for out and (dst, src) for in.
-	slices.SortFunc(b.edges, func(x, y Edge) int {
-		if x.Src != y.Src {
-			return cmp.Compare(x.Src, y.Src)
-		}
-		return cmp.Compare(x.Dst, y.Dst)
-	})
+	// Fill, sorted by (src, dst) for out and (dst, src) for in. A deduped
+	// builder skips both sorts (see the deduped field).
+	if !b.deduped {
+		slices.SortFunc(b.edges, func(x, y Edge) int {
+			if x.Src != y.Src {
+				return cmp.Compare(x.Src, y.Src)
+			}
+			return cmp.Compare(x.Dst, y.Dst)
+		})
+	}
 	outPos := make([]uint64, b.n)
 	for _, e := range b.edges {
 		p := g.OutOffsets[e.Src] + outPos[e.Src]
@@ -287,12 +364,14 @@ func (b *Builder) Build(name string) *Graph {
 		}
 		outPos[e.Src]++
 	}
-	slices.SortFunc(b.edges, func(x, y Edge) int {
-		if x.Dst != y.Dst {
-			return cmp.Compare(x.Dst, y.Dst)
-		}
-		return cmp.Compare(x.Src, y.Src)
-	})
+	if !b.deduped {
+		slices.SortFunc(b.edges, func(x, y Edge) int {
+			if x.Dst != y.Dst {
+				return cmp.Compare(x.Dst, y.Dst)
+			}
+			return cmp.Compare(x.Src, y.Src)
+		})
+	}
 	inPos := make([]uint64, b.n)
 	for _, e := range b.edges {
 		p := g.InOffsets[e.Dst] + inPos[e.Dst]

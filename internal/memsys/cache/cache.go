@@ -6,6 +6,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"omega/internal/memsys"
 	"omega/internal/stats"
@@ -23,23 +24,53 @@ type Config struct {
 	Name string
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	// pinned lines are excluded from replacement (the §IX "locked
-	// cache lines" alternative to scratchpads).
-	pinned bool
-	// lastUse implements LRU via a monotonic use counter.
-	lastUse uint64
-}
+// flagDirty marks a way dirty (see Cache.flags).
+const flagDirty uint8 = 1
 
 // Cache is one cache instance. Not safe for concurrent use.
+//
+// Line state is stored structure-of-arrays, indexed by set*Ways+way: a tag
+// probe scans one contiguous run of tagp (64 bytes for an 8-way set — a
+// single hardware cache line), and the LRU stamps and flag bytes are only
+// touched on the way that matters. This layout roughly halves the probe
+// cost of the simulator's hottest loops (findIdx, fill) compared to an
+// array-of-structs set.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	ways     int
 	numSets  uint64
 	useClock uint64
+	// setShift/setMask strength-reduce locate's divisions to shift/mask
+	// when numSets is a power of two (setShift is -1 otherwise). Scaled
+	// geometries are rounded to arbitrary multiples of a set, so both
+	// paths stay live.
+	setShift int
+	setMask  uint64
+
+	// tagp[i] holds tag+1 for a valid way and 0 for an invalid one, so a
+	// probe is a single compare per way (an invalid way can never match a
+	// key, which is always >= 1). flags[i] carries the dirty bit;
+	// lastUse[i] implements LRU via the monotonic use counter.
+	tagp    []uint64
+	flags   []uint8
+	lastUse []uint64
+	// pinMask[set] has bit w set iff way w of the set holds a valid pinned
+	// line (the §IX "locked cache lines" alternative to scratchpads —
+	// pinned lines are excluded from replacement). Keeping pin state per
+	// set instead of per way means the fill victim scan touches one word
+	// that is zero in every cache that never pins, instead of the flags
+	// byte of every way.
+	pinMask []uint64
+
+	// hotLine/hotIdx memoize the line of the most recent read hit so a
+	// streaming run of reads to the same 64 B line skips the set probe
+	// (SameLineReadHit); hotIdx is -1 when no memo is armed. gen
+	// invalidates the memo — and any caller-side buffer keyed on Gen() —
+	// whenever the memoized line's identity could have changed: an
+	// eviction or invalidation of that line, or a Reset.
+	hotLine memsys.Addr
+	hotIdx  int
+	gen     uint64
 
 	// Stats
 	Reads      stats.Ratio // read hits/total
@@ -51,8 +82,8 @@ type Cache struct {
 // New builds a cache. It panics on nonsensical geometry, since
 // configurations are static experiment inputs.
 func New(cfg Config) *Cache {
-	if cfg.Ways <= 0 {
-		panic(fmt.Sprintf("cache %s: ways must be positive", cfg.Name))
+	if cfg.Ways <= 0 || cfg.Ways > 64 {
+		panic(fmt.Sprintf("cache %s: ways must be in 1..64", cfg.Name))
 	}
 	setBytes := memsys.LineSize * cfg.Ways
 	if cfg.SizeBytes <= 0 || cfg.SizeBytes%setBytes != 0 {
@@ -60,13 +91,21 @@ func New(cfg Config) *Cache {
 			cfg.Name, cfg.SizeBytes, setBytes))
 	}
 	numSets := cfg.SizeBytes / setBytes
+	n := numSets * cfg.Ways
 	c := &Cache{
-		cfg:     cfg,
-		numSets: uint64(numSets),
-		sets:    make([][]line, numSets),
+		cfg:      cfg,
+		ways:     cfg.Ways,
+		numSets:  uint64(numSets),
+		tagp:     make([]uint64, n),
+		flags:    make([]uint8, n),
+		lastUse:  make([]uint64, n),
+		pinMask:  make([]uint64, numSets),
+		setShift: -1,
+		hotIdx:   -1,
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+	if numSets&(numSets-1) == 0 {
+		c.setShift = bits.TrailingZeros64(uint64(numSets))
+		c.setMask = uint64(numSets) - 1
 	}
 	return c
 }
@@ -77,29 +116,83 @@ func (c *Cache) Config() Config { return c.cfg }
 // Latency returns the hit latency.
 func (c *Cache) Latency() memsys.Cycles { return c.cfg.LatencyCycles }
 
-func (c *Cache) locate(a memsys.Addr) (setIdx uint64, tag uint64) {
+// locate maps an address to its set index, the set's base index in the way
+// arrays, and the probe key (tag+1).
+func (c *Cache) locate(a memsys.Addr) (set uint64, base int, key uint64) {
 	la := uint64(memsys.LineAddr(a)) / memsys.LineSize
-	return la % c.numSets, la / c.numSets
+	if c.setShift >= 0 {
+		set = la & c.setMask
+		return set, int(set) * c.ways, (la >> uint(c.setShift)) + 1
+	}
+	set = la % c.numSets
+	return set, int(set) * c.ways, la/c.numSets + 1
 }
 
-// findLine probes one set for tag and returns the matching valid line, or
-// nil. It is the single probe loop behind Lookup, Access, Fill, Invalidate,
-// and Pin.
-func (c *Cache) findLine(set, tag uint64) *line {
-	s := c.sets[set]
-	for i := range s {
-		if s[i].valid && s[i].tag == tag {
-			return &s[i]
+// findIdx probes one set for key and returns the matching way's index, or
+// -1. It is the single probe loop behind Lookup, Access, Invalidate, and
+// Pin.
+func (c *Cache) findIdx(base int, key uint64) int {
+	for i := base; i < base+c.ways; i++ {
+		if c.tagp[i] == key {
+			return i
 		}
 	}
-	return nil
+	return -1
 }
 
 // Lookup probes the cache without modifying replacement or contents, and
 // reports whether addr is present.
 func (c *Cache) Lookup(a memsys.Addr) bool {
-	set, tag := c.locate(a)
-	return c.findLine(set, tag) != nil
+	_, base, key := c.locate(a)
+	return c.findIdx(base, key) >= 0
+}
+
+// Gen returns the cache's line-buffer generation. It advances whenever a
+// line's identity may have changed (fill-evict, invalidation, Reset), so
+// callers can memoize "addr hits this cache" results keyed on (line, Gen)
+// and be guaranteed a stale memo never validates.
+func (c *Cache) Gen() uint64 { return c.gen }
+
+// dropHot invalidates the same-line memo and advances the generation.
+func (c *Cache) dropHot() {
+	c.hotIdx = -1
+	c.gen++
+}
+
+// DropHot force-invalidates the same-line memo and advances the
+// generation. It exists for events outside the cache's own view — fault
+// degrades, scratchpad reconfiguration — that must conservatively kill
+// caller-side line buffers keyed on Gen().
+func (c *Cache) DropHot() { c.dropHot() }
+
+// SameLineReadHit is the same-line fast path: if addr falls in the line of
+// the most recent read hit and that line is provably untouched since (the
+// memo survives only until any eviction or invalidation of it), the read
+// is recorded as a hit — replaying exactly the accounting the full probe
+// would have done (use-clock tick, LRU touch, read-hit counter) — and true
+// is returned. Otherwise nothing is recorded and the caller must take the
+// full Access path.
+func (c *Cache) SameLineReadHit(a memsys.Addr) bool {
+	if c.hotIdx < 0 || memsys.LineAddr(a) != c.hotLine {
+		return false
+	}
+	c.useClock++
+	c.lastUse[c.hotIdx] = c.useClock
+	c.Reads.Observe(true)
+	return true
+}
+
+// FillStream is Fill that additionally seeds the same-line memo with the
+// installed (or refreshed) line, arming SameLineReadHit for the reads that
+// follow a streaming miss. Seeding is skipped when the fill is rejected
+// (fully pinned set), so the memo never points at an absent line.
+func (c *Cache) FillStream(a memsys.Addr, dirty bool) (victim EvictedLine, evicted bool) {
+	victim, evicted, idx := c.fill(a, dirty)
+	if idx >= 0 {
+		c.hotLine = memsys.LineAddr(a)
+		c.hotIdx = idx
+	}
+	return victim, evicted
 }
 
 // EvictedLine describes a victim produced by a fill.
@@ -113,12 +206,12 @@ type EvictedLine struct {
 // first consult the next level, then call Fill. The hit result lets the
 // hierarchy charge the correct latency chain.
 func (c *Cache) Access(a memsys.Addr, write bool) (hit bool) {
-	set, tag := c.locate(a)
+	_, base, key := c.locate(a)
 	c.useClock++
-	if l := c.findLine(set, tag); l != nil {
-		l.lastUse = c.useClock
+	if i := c.findIdx(base, key); i >= 0 {
+		c.lastUse[i] = c.useClock
 		if write {
-			l.dirty = true
+			c.flags[i] |= flagDirty
 			c.Writes.Observe(true)
 		} else {
 			c.Reads.Observe(true)
@@ -133,54 +226,100 @@ func (c *Cache) Access(a memsys.Addr, write bool) (hit bool) {
 	return false
 }
 
+// AccessStreamRead is Access(a, false) that additionally seeds the
+// same-line memo on a hit, arming SameLineReadHit for the next read of
+// this line. The hierarchy calls it for the streaming access kinds
+// (edge lists, graph metadata) and plain Access for everything else, so
+// point accesses (vertex properties) interleaved with a stream do not
+// evict the stream's memo. Seeding affects only which later reads take
+// the fast path — the replayed accounting is identical either way.
+func (c *Cache) AccessStreamRead(a memsys.Addr) (hit bool) {
+	_, base, key := c.locate(a)
+	c.useClock++
+	if i := c.findIdx(base, key); i >= 0 {
+		c.lastUse[i] = c.useClock
+		c.Reads.Observe(true)
+		c.hotLine = memsys.LineAddr(a)
+		c.hotIdx = i
+		return true
+	}
+	c.Reads.Observe(false)
+	return false
+}
+
 // Fill installs the line containing addr, returning the evicted victim if
 // any. If dirty is set the new line is installed dirty (write-allocate
 // stores).
 func (c *Cache) Fill(a memsys.Addr, dirty bool) (victim EvictedLine, evicted bool) {
-	set, tag := c.locate(a)
+	victim, evicted, _ = c.fill(a, dirty)
+	return victim, evicted
+}
+
+// fill is the shared Fill body; it also returns the index of the way
+// holding addr after the fill (-1 when a fully pinned set rejected it).
+//
+// The set is scanned once, resolving presence and victim selection in the
+// same pass: a key match takes the refresh path; otherwise the first
+// invalid way wins (the tail must still be scanned for a key match), and
+// failing that the first minimum-lastUse non-pinned way — the identical
+// outcome of a findIdx probe followed by a separate victim scan.
+func (c *Cache) fill(a memsys.Addr, dirty bool) (victim EvictedLine, evicted bool, installed int) {
+	set, base, key := c.locate(a)
 	c.useClock++
-	if l := c.findLine(set, tag); l != nil {
-		// Already present (e.g. refilled by a racing path): refresh.
-		l.lastUse = c.useClock
-		if dirty {
-			l.dirty = true
-		}
-		return EvictedLine{}, false
-	}
-	// Prefer an invalid way; otherwise evict the least recently used
-	// non-pinned line. A fully pinned set rejects the fill (the caller
-	// treats the access as uncached).
+	pinned := c.pinMask[set]
 	victimIdx := -1
-	for i := range c.sets[set] {
-		if !c.sets[set][i].valid {
-			victimIdx = i
-			break
-		}
-	}
-	if victimIdx == -1 {
-		for i := range c.sets[set] {
-			if c.sets[set][i].pinned {
-				continue
-			}
-			if victimIdx == -1 || c.sets[set][i].lastUse < c.sets[set][victimIdx].lastUse {
+	haveInvalid := false
+	for i := base; i < base+c.ways; i++ {
+		t := c.tagp[i]
+		if t == 0 {
+			if !haveInvalid {
 				victimIdx = i
+				haveInvalid = true
 			}
+			continue
+		}
+		if t == key {
+			// Already present (e.g. refilled by a racing path): refresh.
+			c.lastUse[i] = c.useClock
+			if dirty {
+				c.flags[i] |= flagDirty
+			}
+			return EvictedLine{}, false, i
+		}
+		if haveInvalid || pinned>>uint(i-base)&1 != 0 {
+			continue
+		}
+		if victimIdx == -1 || c.lastUse[i] < c.lastUse[victimIdx] {
+			victimIdx = i
 		}
 	}
+	// A fully pinned set rejects the fill (the caller treats the access
+	// as uncached).
 	if victimIdx == -1 {
-		return EvictedLine{}, false
+		return EvictedLine{}, false, -1
 	}
-	l := &c.sets[set][victimIdx]
-	if l.valid {
+	if victimIdx == c.hotIdx {
+		c.dropHot()
+	}
+	if t := c.tagp[victimIdx]; t != 0 {
 		c.Evictions.Inc()
-		if l.dirty {
+		d := c.flags[victimIdx]&flagDirty != 0
+		if d {
 			c.Writebacks.Inc()
 		}
-		victim = EvictedLine{Addr: c.reconstruct(set, l.tag), Dirty: l.dirty}
+		victim = EvictedLine{Addr: c.reconstruct(set, t-1), Dirty: d}
 		evicted = true
 	}
-	*l = line{tag: tag, valid: true, dirty: dirty, lastUse: c.useClock}
-	return victim, evicted
+	// The victim way is never pinned (pinned valid ways are excluded from
+	// selection and pinMask implies valid), so no pinMask update is needed.
+	c.tagp[victimIdx] = key
+	if dirty {
+		c.flags[victimIdx] = flagDirty
+	} else {
+		c.flags[victimIdx] = 0
+	}
+	c.lastUse[victimIdx] = c.useClock
+	return victim, evicted, victimIdx
 }
 
 // Pin installs the line containing addr (if absent) and excludes it from
@@ -188,23 +327,17 @@ func (c *Cache) Fill(a memsys.Addr, dirty bool) (victim EvictedLine, evicted boo
 // false) when pinning would fill the whole set, which must keep at least
 // one replaceable way.
 func (c *Cache) Pin(a memsys.Addr) bool {
-	set, tag := c.locate(a)
-	if l := c.findLine(set, tag); l != nil {
-		l.pinned = true
+	set, base, key := c.locate(a)
+	if i := c.findIdx(base, key); i >= 0 {
+		c.pinMask[set] |= 1 << uint(i-base)
 		return true
 	}
-	pinned := 0
-	for i := range c.sets[set] {
-		if c.sets[set][i].valid && c.sets[set][i].pinned {
-			pinned++
-		}
-	}
-	if pinned >= len(c.sets[set])-1 {
+	if bits.OnesCount64(c.pinMask[set]) >= c.ways-1 {
 		return false
 	}
 	c.Fill(a, false)
-	if l := c.findLine(set, tag); l != nil {
-		l.pinned = true
+	if i := c.findIdx(base, key); i >= 0 {
+		c.pinMask[set] |= 1 << uint(i-base)
 		return true
 	}
 	return false
@@ -213,12 +346,8 @@ func (c *Cache) Pin(a memsys.Addr) bool {
 // PinnedLines counts pinned lines across the cache.
 func (c *Cache) PinnedLines() int {
 	n := 0
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			if c.sets[i][j].valid && c.sets[i][j].pinned {
-				n++
-			}
-		}
+	for _, m := range c.pinMask {
+		n += bits.OnesCount64(m)
 	}
 	return n
 }
@@ -226,11 +355,17 @@ func (c *Cache) PinnedLines() int {
 // Invalidate drops the line containing addr if present, returning whether
 // it was present and dirty (the caller is responsible for the writeback).
 func (c *Cache) Invalidate(a memsys.Addr) (present, dirty bool) {
-	set, tag := c.locate(a)
-	if l := c.findLine(set, tag); l != nil {
-		present, dirty = true, l.dirty
-		l.valid = false
-		l.dirty = false
+	set, base, key := c.locate(a)
+	if i := c.findIdx(base, key); i >= 0 {
+		if i == c.hotIdx {
+			c.dropHot()
+		}
+		present, dirty = true, c.flags[i]&flagDirty != 0
+		c.tagp[i] = 0
+		c.flags[i] = 0
+		if c.pinMask[set] != 0 {
+			c.pinMask[set] &^= 1 << uint(i-base)
+		}
 	}
 	return
 }
@@ -249,13 +384,14 @@ func (c *Cache) HitRate() float64 {
 	return float64(c.Reads.Hits+c.Writes.Hits) / float64(total)
 }
 
-// Reset clears contents and statistics.
+// Reset clears contents and statistics. The line-buffer generation is NOT
+// reset — it advances, so memos taken before the Reset can never validate.
 func (c *Cache) Reset() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
-		}
-	}
+	c.dropHot()
+	clear(c.tagp)
+	clear(c.flags)
+	clear(c.lastUse)
+	clear(c.pinMask)
 	c.useClock = 0
 	c.Reads = stats.Ratio{}
 	c.Writes = stats.Ratio{}

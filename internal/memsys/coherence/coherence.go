@@ -28,8 +28,16 @@ import (
 type dirEntry struct {
 	line    memsys.Addr
 	sharers uint64 // bitmask of cores holding the line
-	owner   int8   // core holding Modified, or -1
-	used    bool
+	// resident is a superset of the cores whose L1 physically contains the
+	// line. Unlike sharers — which AcquireExclusive truncates, leaving
+	// stale-but-present copies untracked — resident bits are set on every
+	// acquisition/fill and cleared only when a copy is provably gone
+	// (Drop, or a back-invalidation probe that found the line absent), so
+	// the hierarchy can restrict its per-core eviction probe loops to
+	// resident bits without missing a stale copy.
+	resident uint64
+	owner    int8 // core holding Modified, or -1
+	used     bool
 }
 
 // dirInitialCap is the starting table capacity (must be a power of two).
@@ -179,12 +187,31 @@ func (d *Directory) AcquireShared(line memsys.Addr, core int) ReadOutcome {
 		d.Downgrades.Inc()
 		e.owner = -1
 	}
+	e.resident |= 1 << uint(core)
 	if e.owner == int8(core) {
 		// Already modified locally; keep M (read hit under M).
 		return out
 	}
 	e.sharers |= 1 << uint(core)
 	return out
+}
+
+// FillShared records that core's L1 installed line after a read miss or
+// prefetch: it marks residency and, exactly when the line is untracked
+// (not modified by core, zero sharers), performs AcquireShared's state
+// change. It folds the hierarchy's IsModifiedBy/Holders guard and the
+// conditional AcquireShared into a single table probe.
+func (d *Directory) FillShared(line memsys.Addr, core int) {
+	e := &d.entries[d.findOrInsert(line)]
+	if e.owner != int8(core) && e.sharers == 0 {
+		if e.owner >= 0 {
+			d.C2CTransfers.Inc()
+			d.Downgrades.Inc()
+			e.owner = -1
+		}
+		e.sharers |= 1 << uint(core)
+	}
+	e.resident |= 1 << uint(core)
 }
 
 // WriteOutcome describes what a write/atomic acquisition required.
@@ -209,8 +236,34 @@ func (d *Directory) AcquireExclusive(line memsys.Addr, core int) WriteOutcome {
 	out.Invalidated = bits.OnesCount64(e.sharers &^ (1 << uint(core)))
 	d.Invalidations.Add(uint64(out.Invalidated))
 	e.sharers = 1 << uint(core)
+	e.resident |= 1 << uint(core)
 	e.owner = int8(core)
 	return out
+}
+
+// Upgrade is the write-hit path: if core already holds line Modified it
+// is a no-op (upgraded=false, matching IsModifiedBy); otherwise it
+// performs exactly AcquireExclusive and reports upgraded=true. It exists
+// so the hierarchy's write-hit check costs one table probe instead of the
+// two an IsModifiedBy+AcquireExclusive pair would pay. Note the same
+// insert-if-absent behaviour as AcquireExclusive: an untracked line
+// (stale L1 copy whose sharer bit was cleared) is inserted and acquired.
+func (d *Directory) Upgrade(line memsys.Addr, core int) (out WriteOutcome, upgraded bool) {
+	e := &d.entries[d.findOrInsert(line)]
+	out = WriteOutcome{DirtyOwner: -1}
+	e.resident |= 1 << uint(core)
+	if e.owner == int8(core) {
+		return out, false
+	}
+	if e.owner >= 0 {
+		out.DirtyOwner = int(e.owner)
+		d.C2CTransfers.Inc()
+	}
+	out.Invalidated = bits.OnesCount64(e.sharers &^ (1 << uint(core)))
+	d.Invalidations.Add(uint64(out.Invalidated))
+	e.sharers = 1 << uint(core)
+	e.owner = int8(core)
+	return out, true
 }
 
 // Drop records that core evicted its copy of line (silent for clean
@@ -227,10 +280,36 @@ func (d *Directory) Drop(line memsys.Addr, core int) (wasModified bool) {
 		wasModified = true
 	}
 	e.sharers &^= 1 << uint(core)
-	if e.sharers == 0 && e.owner < 0 {
+	e.resident &^= 1 << uint(core)
+	if e.sharers == 0 && e.owner < 0 && e.resident == 0 {
 		d.erase(uint64(i))
 	}
 	return wasModified
+}
+
+// Resident returns the superset mask of cores whose L1 may contain line
+// (see dirEntry.resident), or 0 when the line is untracked. Probing a core
+// outside this mask is guaranteed to miss.
+func (d *Directory) Resident(line memsys.Addr) uint64 {
+	i := d.find(line)
+	if i < 0 {
+		return 0
+	}
+	return d.entries[i].resident
+}
+
+// ClearResident retracts a stale residency bit after a probe of core's L1
+// found line absent. It touches no sharer/owner state and no counters.
+func (d *Directory) ClearResident(line memsys.Addr, core int) {
+	i := d.find(line)
+	if i < 0 {
+		return
+	}
+	e := &d.entries[i]
+	e.resident &^= 1 << uint(core)
+	if e.sharers == 0 && e.owner < 0 && e.resident == 0 {
+		d.erase(uint64(i))
+	}
 }
 
 // Holders returns how many cores currently hold line.
