@@ -20,6 +20,8 @@
 //	omega-bench -parallel 1         # sequential (identical tables)
 //	omega-bench -scale 14           # closer-to-paper regime (slower)
 //	omega-bench -only "Figure 14"   # one experiment
+//	omega-bench -campaign           # only the Resilience R2 fault campaign
+//	omega-bench -fault-seed 7       # re-key the campaign's fault streams
 //	omega-bench -tsv results/       # also write TSV files
 //	omega-bench -timeout 2m         # per-experiment watchdog
 //	omega-bench -cpuprofile cpu.out # profile the suite (go tool pprof)
@@ -61,6 +63,8 @@ func run() error {
 		htmlPath = flag.String("html", "", "write a self-contained HTML report")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-experiment watchdog timeout (0 disables)")
 		serialVr = flag.Bool("serial-variants", false, "run machine variants inside each experiment sequentially (identical tables)")
+		campaign = flag.Bool("campaign", false, "run only the Resilience R2 fault campaign")
+		faultSd  = flag.Uint64("fault-seed", 1, "base seed for resilience fault-injection streams")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 		memProf  = flag.String("memprofile", "", "write an end-of-suite heap profile to this file")
 	)
@@ -97,20 +101,27 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	filter := *only
+	if *campaign {
+		if filter != "" {
+			return fmt.Errorf("-campaign and -only are mutually exclusive")
+		}
+		filter = "Resilience R2"
+	}
 	var specs []experiments.Spec
 	for _, spec := range experiments.Registry() {
-		if *only == "" || strings.Contains(spec.ID, *only) {
+		if filter == "" || strings.Contains(spec.ID, filter) {
 			specs = append(specs, spec)
 		}
 	}
 	if len(specs) == 0 {
-		return fmt.Errorf("no experiment ID contains %q", *only)
+		return fmt.Errorf("no experiment ID contains %q", filter)
 	}
 
 	opts := experiments.Options{
 		Scale: *scale, Seed: *seed, Coverage: *coverage,
 		Parallelism: *parallel, Timeout: *timeout,
-		SerialVariants: *serialVr,
+		SerialVariants: *serialVr, FaultSeed: *faultSd,
 	}
 	start := time.Now()
 
@@ -158,6 +169,11 @@ func run() error {
 	}
 	fmt.Printf("ran %d experiments (%d failed) in %v at parallelism %d\n",
 		len(res.Tables), res.Failed(), time.Since(start).Round(time.Millisecond), res.Parallelism)
+	// A failed experiment fails the invocation — CI and scripts must not
+	// read a suite with failed tables as success.
+	if n := res.Failed(); n > 0 {
+		return fmt.Errorf("%d of %d experiments failed", n, len(res.Tables))
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@
 //	omega-sim -algo BFS -graph road -scale 14 -coverage 0.2
 //	omega-sim -algo CC -graph ba -scale 13 -edgelist path/to/snap.txt -edge-errors 10
 //	omega-sim -algo PageRank -faults 1e-3 -fault-seed 7   # inject faults
+//	omega-sim -algo PageRank -fault-site directory:1e-3,pisc-alu:1e-4   # per-site rates
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"omega/internal/algorithms"
 	"omega/internal/core"
 	"omega/internal/experiments"
+	"omega/internal/faults"
 	"omega/internal/graph"
 	"omega/internal/graph/gio"
 	"omega/internal/graph/reorder"
@@ -43,6 +45,7 @@ func run() error {
 		edgeErrs  = flag.Int("edge-errors", 0, "tolerate up to N malformed edge-list lines (0 = strict)")
 		noPISC    = flag.Bool("no-pisc", false, "disable PISC engines (scratchpads only)")
 		faultRate = flag.Float64("faults", 0, "fault injection rate per DRAM read / NoC message (0 = off)")
+		faultSite = flag.String("fault-site", "", "per-site injection rates, e.g. \"directory:1e-3,linebuf:1e-4\" (sites: dram, noc, sp-parity, directory, linebuf, pisc-alu)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the fault injector streams")
 		serial    = flag.Bool("serial", false, "with -machine both, simulate the machines one after the other")
 		verbose   = flag.Bool("v", false, "print full stats summaries")
@@ -66,10 +69,21 @@ func run() error {
 		omCfg.PISC = false
 		omCfg.Name = "omega-nopisc"
 	}
-	if *faultRate != 0 {
+	switch {
+	case *faultRate != 0 && *faultSite != "":
+		return fmt.Errorf("-faults and -fault-site are mutually exclusive")
+	case *faultRate != 0:
 		// Negative rates flow through so Config.Validate rejects them
 		// with a clear error instead of silently running fault-free.
 		fc := experiments.ResilienceFaults(*faultSeed, *faultRate)
+		baseCfg.Faults = fc
+		omCfg.Faults = fc
+	case *faultSite != "":
+		fc, err := faults.ParseSiteConfig(*faultSite)
+		if err != nil {
+			return err
+		}
+		fc.Seed = *faultSeed
 		baseCfg.Faults = fc
 		omCfg.Faults = fc
 	}
@@ -155,7 +169,7 @@ func run() error {
 			fmt.Printf("DRAM bandwidth utilization: %.2fx\n",
 				omStats.DRAMUtilized/baseStats.DRAMUtilized)
 		}
-		if *faultRate > 0 {
+		if *faultRate > 0 || *faultSite != "" {
 			baseExp := float64(baseStats.DRAMBytes + baseStats.NoCBytes)
 			omExp := float64(omStats.DRAMBytes + omStats.NoCBytes)
 			if omExp > 0 {

@@ -104,6 +104,13 @@ type Config struct {
 	// memoized path against the full probe.
 	DisableLineBuffer bool
 
+	// DisableLineBufGenCheck drops the generation tag comparison on line
+	// buffer lookups. Only fault-injection experiments set it: with the
+	// check off, an injected line-buffer corruption replays a stale memo
+	// silently instead of being caught and discarded, which is exactly the
+	// silent-data-corruption scenario the resilience campaigns classify.
+	DisableLineBufGenCheck bool
+
 	// OpenMPChunk is the scheduling chunk size of the framework's
 	// parallel loops.
 	OpenMPChunk int

@@ -3,6 +3,7 @@ package core
 import (
 	"math/bits"
 
+	"omega/internal/faults"
 	"omega/internal/memsys"
 	"omega/internal/memsys/cache"
 	"omega/internal/memsys/coherence"
@@ -23,6 +24,11 @@ type cachePath struct {
 	dir  *coherence.Directory
 	dram *dram.DRAM
 	noc  *noc.Crossbar
+
+	// faults, when attached, flips bits in directory probe-table entries;
+	// the background scrubber repairs them via the per-entry check byte
+	// (nil = no injection, the default).
+	faults *faults.Injector
 
 	atomics    stats.Counter
 	l1HitLat   memsys.Cycles
@@ -110,6 +116,22 @@ func (p *cachePath) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
 	line := memsys.LineAddr(a.Addr)
 	l1 := p.l1[a.Core]
 
+	// Injected directory probe-table entry flip. When a flip lands, the
+	// scrubber sweeps the table against the per-entry check bytes and
+	// erases mismatching entries (backward-shift aware: coherence.Scrub
+	// rechecks slots refilled by the shift); the sweep's latency is
+	// charged to this access. With scrubbing disabled the corrupt entry
+	// persists and silently skews coherence traffic.
+	var scrubLat memsys.Cycles
+	if slotSel, bitSel, ok := p.faults.DirFlip(); ok {
+		if p.dir.CorruptEntry(slotSel, bitSel) && !p.faults.Config().DisableDirScrub {
+			if repaired := p.dir.Scrub(); repaired > 0 {
+				p.faults.NoteDirScrubRepairs(repaired)
+			}
+			scrubLat = p.faults.Config().DirScrubCycles
+		}
+	}
+
 	// Streaming-kind reads seed the L1's same-line memo (the fast path in
 	// Machine.fastRead); vtxProp and writes use the plain probe so point
 	// accesses do not evict a live stream memo.
@@ -153,7 +175,7 @@ func (p *cachePath) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
 		lat += p.cfg.AtomicOpCycles
 	}
 	blocking := atomic || a.Dependent
-	return memsys.Result{Latency: lat, Blocking: blocking, Level: level}
+	return memsys.Result{Latency: lat + scrubLat, Blocking: blocking, Level: level}
 }
 
 // miss brings line toward the requesting core, returning the latency from

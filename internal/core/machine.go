@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"omega/internal/cpu"
@@ -39,6 +40,26 @@ type Machine struct {
 
 	nextAddr memsys.Addr
 	regions  []*Region
+
+	// pendingALU holds the XOR mask of an injected PISC ALU transient for
+	// the atomic op most recently offloaded; the framework's functional
+	// update consumes it via Ctx.TakeALUFault. Zero when no fault is
+	// pending (the overwhelmingly common case).
+	pendingALU uint64
+
+	// ctx/ctxDone implement cooperative cancellation (AttachContext): the
+	// run loops poll ctxDone every cancelCheckMask+1 scheduled items and
+	// unwind with a *Cancelled panic when it closes. cancelTick is the
+	// poll counter; none of this perturbs simulation state or RNG draws.
+	ctx        context.Context
+	ctxDone    <-chan struct{}
+	cancelTick uint64
+
+	// digests, when enabled (EnableIterationDigests), records a StateDigest
+	// per BeginIteration — the checkpointed-recovery engine uses the trail
+	// to locate the first diverging iteration of a faulty run.
+	digests   []uint64
+	digestsOn bool
 
 	accessesByKind [memsys.NumKinds]stats.Counter
 	atomicsIssued  stats.Counter
@@ -135,6 +156,7 @@ func NewMachineChecked(cfg Config) (*Machine, error) {
 		m.xbar.AttachFaults(m.faults)
 	}
 	m.path = newCachePath(cfg, m.xbar, m.mem)
+	m.path.faults = m.faults
 	for c := 0; c < cfg.NumCores; c++ {
 		m.cores = append(m.cores, cpu.New(c, cfg.Core))
 	}
@@ -237,9 +259,13 @@ func (m *Machine) VertexProfile() []uint64 { return m.vertexProfile }
 // line-buffer epoch: iteration boundaries change iteration-scoped state
 // (source vertex buffers), so every core's fast-path memo is dropped.
 func (m *Machine) BeginIteration() {
+	m.checkCancelNow()
 	m.iterations.Inc()
 	m.fastEpoch++
 	m.hier.BeginIteration()
+	if m.digestsOn {
+		m.digests = append(m.digests, m.StateDigest())
+	}
 }
 
 // ElapsedCycles returns the max core clock — the simulated execution time.
@@ -296,6 +322,14 @@ func (c *Ctx) access(r *Region, i int, op memsys.Op, srcRead, dependent bool) {
 	} else {
 		res = c.m.hier.Access(core.Clock(), a)
 	}
+	if op == memsys.OpAtomic && res.Level == memsys.LevelPISC && c.m.faults != nil {
+		if mask, ok := c.m.faults.ALUFlip(); ok {
+			// Transient in the PISC ALU datapath: latch the XOR mask for the
+			// framework's functional update (Ctx.TakeALUFault), corrupting
+			// the computed value the way a real single-event upset would.
+			c.m.pendingALU = mask
+		}
+	}
 	if c.m.tracer != nil {
 		c.m.tracer.Record(core.Clock(), a, res)
 	}
@@ -330,6 +364,12 @@ func (m *Machine) fastRead(core *cpu.Core, a memsys.Access) memsys.Result {
 	if lat, level, ok := core.LineBufLookup(line, gen); ok && l1.SameLineReadHit(line) {
 		return memsys.Result{Latency: lat, Blocking: a.Dependent, Level: level}
 	}
+	if m.faults != nil && core.LineBufCaught(line) {
+		// A corrupted memo for this line just failed the generation check:
+		// the detection worked, the stale entry is discarded, and the read
+		// below takes the full (bit-identical) probe.
+		m.faults.NoteLineBufGenCatch()
+	}
 	res := m.hier.Access(core.Clock(), a)
 	// Arm the buffer for the next same-line read, whether this one hit
 	// (the probe seeded the cache memo) or missed (the fill did, via
@@ -340,6 +380,16 @@ func (m *Machine) fastRead(core *cpu.Core, a memsys.Access) memsys.Result {
 	// so a stale arm costs a lookup, never correctness. The generation is
 	// re-read after the probe: its fills may have advanced it.
 	core.LineBufStore(line, l1.Gen()+m.fastEpoch, l1.Latency(), memsys.LevelL1)
+	if m.faults != nil {
+		if bitSel, ok := m.faults.LineBufFlip(); ok {
+			// Transient in the just-armed memo: flip a latency bit above the
+			// core's pipelining threshold so a silent replay is timing-
+			// visible. With the generation check on, the corruption also
+			// scrambles the tag, so the next lookup misses and the catch is
+			// counted above; with the check off the stale memo replays.
+			core.CorruptLineBuf(bitSel, !m.cfg.DisableLineBufGenCheck)
+		}
+	}
 	return res
 }
 
@@ -369,6 +419,17 @@ func (m *Machine) LevelProfile() (counts, latencies map[string]uint64) {
 		}
 	}
 	return
+}
+
+// TakeALUFault returns the XOR mask of an injected PISC ALU transient
+// latched by this context's most recent Atomic, clearing it, or zero when
+// the op executed cleanly. The framework applies the mask to the
+// functionally computed value, making the corruption visible in algorithm
+// outputs (and therefore recoverable only by re-execution).
+func (c *Ctx) TakeALUFault() uint64 {
+	mask := c.m.pendingALU
+	c.m.pendingALU = 0
+	return mask
 }
 
 // Read emits a plain load of element i of region r.
@@ -447,6 +508,7 @@ func (m *Machine) ParallelForGrain(n, chunk int, body func(ctx *Ctx, i int)) {
 		dynNext = min(p, numChunks)
 	}
 	for !s.heap.empty() {
+		m.checkCancel()
 		sel := s.heap.min()
 		k := s.nextChunk[sel]
 		i := k*chunk + s.itemInChunk[sel]
@@ -509,6 +571,7 @@ func (m *Machine) releaseSched(s *schedState) { s.busy = false }
 // Sequential runs body on core 0 (the paper's framework executes
 // inter-region glue on one thread), then synchronizes all cores.
 func (m *Machine) Sequential(body func(ctx *Ctx)) {
+	m.checkCancelNow()
 	m.seqCtx = Ctx{m: m, core: 0}
 	body(&m.seqCtx)
 	m.Barrier()

@@ -126,13 +126,20 @@ type Core struct {
 	// the full probe returned. The machine consults it to short-circuit a
 	// repeated non-atomic read to the same line; any generation mismatch
 	// falls back to the full hierarchy probe.
-	lineBuf struct {
-		line  memsys.Addr
-		gen   uint64
-		lat   memsys.Cycles
-		level memsys.Level
-		valid bool
-	}
+	lineBuf lineBufEntry
+}
+
+// lineBufEntry is the one-entry line buffer's state. corrupt marks an
+// injected memo corruption (stale latency bits); when the generation
+// check catches it — the gen was scrambled along with the payload — the
+// lookup fails and the caller counts the detection.
+type lineBufEntry struct {
+	line    memsys.Addr
+	gen     uint64
+	lat     memsys.Cycles
+	level   memsys.Level
+	valid   bool
+	corrupt bool
 }
 
 // New builds a core with the given ID.
@@ -280,15 +287,44 @@ func (c *Core) LineBufLookup(line memsys.Addr, gen uint64) (memsys.Cycles, memsy
 // LineBufStore arms the line buffer with the timing a full probe just
 // returned for line under generation gen.
 func (c *Core) LineBufStore(line memsys.Addr, gen uint64, lat memsys.Cycles, level memsys.Level) {
-	c.lineBuf.line = line
-	c.lineBuf.gen = gen
-	c.lineBuf.lat = lat
-	c.lineBuf.level = level
-	c.lineBuf.valid = true
+	c.lineBuf = lineBufEntry{line: line, gen: gen, lat: lat, level: level, valid: true}
 }
 
 // LineBufClear disarms the line buffer.
-func (c *Core) LineBufClear() { c.lineBuf.valid = false }
+func (c *Core) LineBufClear() {
+	c.lineBuf.valid = false
+	c.lineBuf.corrupt = false
+}
+
+// CorruptLineBuf injects a fault into the armed memo: bitSel picks which
+// latency bit to flip (bits 4..9, so the corrupted timing is never
+// hidden by the pipelined-hit threshold) and, when scrambleGen is set
+// (generation checks present in the modeled hardware), the generation
+// tag's top bit flips with it — guaranteeing the next lookup's check
+// fails and the corruption is caught. With scrambleGen false the memo
+// silently replays the corrupted latency until overwritten.
+func (c *Core) CorruptLineBuf(bitSel uint64, scrambleGen bool) {
+	if !c.lineBuf.valid {
+		return
+	}
+	c.lineBuf.lat ^= 1 << (4 + bitSel%6)
+	if scrambleGen {
+		c.lineBuf.gen ^= 1 << 63
+	}
+	c.lineBuf.corrupt = true
+}
+
+// LineBufCaught reports-and-clears a corrupt-memo detection: true when
+// the buffered entry for line is corrupt and its scrambled generation
+// tag just failed a lookup. The entry is disarmed so one injected
+// corruption counts at most one catch.
+func (c *Core) LineBufCaught(line memsys.Addr) bool {
+	if !c.lineBuf.valid || !c.lineBuf.corrupt || c.lineBuf.line != line {
+		return false
+	}
+	c.LineBufClear()
+	return true
+}
 
 // DrainWindow stalls until every outstanding access has completed; used at
 // parallel-region barriers.
@@ -301,6 +337,50 @@ func (c *Core) DrainWindow() {
 		}
 	}
 	c.outstanding = c.outstanding[:0]
+}
+
+// State is an opaque core checkpoint.
+type State struct {
+	clock         memsys.Cycles
+	outstanding   []memsys.Cycles
+	breakdown     Breakdown
+	instructions  uint64
+	frontendAccum int
+	blocking      memsys.Cycles
+	window        memsys.Cycles
+	drain         memsys.Cycles
+	offload       memsys.Cycles
+	lineBuf       lineBufEntry
+}
+
+// Snapshot captures the core's timing state for later Restore.
+func (c *Core) Snapshot() State {
+	return State{
+		clock:         c.clock,
+		outstanding:   append([]memsys.Cycles(nil), c.outstanding...),
+		breakdown:     c.breakdown,
+		instructions:  c.instructions,
+		frontendAccum: c.frontendAccum,
+		blocking:      c.BlockingStall,
+		window:        c.WindowStall,
+		drain:         c.DrainStall,
+		offload:       c.OffloadStall,
+		lineBuf:       c.lineBuf,
+	}
+}
+
+// Restore rewinds the core to a Snapshot.
+func (c *Core) Restore(s State) {
+	c.clock = s.clock
+	c.outstanding = append(c.outstanding[:0], s.outstanding...)
+	c.breakdown = s.breakdown
+	c.instructions = s.instructions
+	c.frontendAccum = s.frontendAccum
+	c.BlockingStall = s.blocking
+	c.WindowStall = s.window
+	c.DrainStall = s.drain
+	c.OffloadStall = s.offload
+	c.lineBuf = s.lineBuf
 }
 
 // Reset clears time, window, and statistics.

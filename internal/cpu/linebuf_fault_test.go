@@ -1,0 +1,75 @@
+package cpu
+
+import (
+	"testing"
+
+	"omega/internal/memsys"
+)
+
+const memoLine = memsys.Addr(0x2000)
+
+// TestCorruptLineBufWithGenCheck: scrambling the generation tag along
+// with the latency bit guarantees the next lookup misses, and the miss is
+// reported (once) as a caught corruption.
+func TestCorruptLineBufWithGenCheck(t *testing.T) {
+	c := newCore()
+	c.LineBufStore(memoLine, 7, 100, memsys.LevelL2Plus)
+	c.CorruptLineBuf(3, true)
+	if _, _, ok := c.LineBufLookup(memoLine, 7); ok {
+		t.Fatal("scrambled generation still hit")
+	}
+	if !c.LineBufCaught(memoLine) {
+		t.Fatal("corruption not caught")
+	}
+	if c.LineBufCaught(memoLine) {
+		t.Fatal("one corruption counted twice")
+	}
+	if _, _, ok := c.LineBufLookup(memoLine, 7); ok {
+		t.Fatal("caught memo should be disarmed")
+	}
+}
+
+// TestCorruptLineBufWithoutGenCheck: without the generation scramble the
+// memo keeps hitting and replays a latency that differs from the stored
+// one by a single bit in [16, 512) — visible timing corruption, no alarm.
+func TestCorruptLineBufWithoutGenCheck(t *testing.T) {
+	c := newCore()
+	c.LineBufStore(memoLine, 7, 100, memsys.LevelL2Plus)
+	c.CorruptLineBuf(2, false)
+	lat, level, ok := c.LineBufLookup(memoLine, 7)
+	if !ok {
+		t.Fatal("unscrambled memo should still hit")
+	}
+	if level != memsys.LevelL2Plus {
+		t.Fatalf("level changed: %v", level)
+	}
+	diff := uint64(lat) ^ 100
+	if diff == 0 {
+		t.Fatal("latency not corrupted")
+	}
+	if diff&(diff-1) != 0 || diff < 1<<4 || diff > 1<<9 {
+		t.Fatalf("corruption is not one bit in [16,512]: lat %d", lat)
+	}
+	// The memo keeps hitting, so the machine's catch path (taken only on
+	// a lookup miss) never runs — the corruption replays with no alarm.
+	// Once a fresh install overwrites the memo, nothing is left to catch.
+	c.LineBufStore(memoLine+memsys.LineSize, 8, 40, memsys.LevelL1)
+	if c.LineBufCaught(memoLine) || c.LineBufCaught(memoLine+memsys.LineSize) {
+		t.Fatal("overwritten corruption still reports a catch")
+	}
+}
+
+func TestCorruptLineBufUnarmed(t *testing.T) {
+	c := newCore()
+	c.CorruptLineBuf(1, true) // no memo armed: must be a no-op
+	if c.LineBufCaught(memoLine) {
+		t.Fatal("corrupting an empty buffer produced a catch")
+	}
+	// Clearing the buffer also clears the corrupt flag.
+	c.LineBufStore(memoLine, 1, 50, memsys.LevelL2Plus)
+	c.CorruptLineBuf(0, true)
+	c.LineBufClear()
+	if c.LineBufCaught(memoLine) {
+		t.Fatal("cleared buffer still reports a catch")
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -29,6 +30,11 @@ type Options struct {
 	Seed uint64
 	// Coverage is the scratchpad sizing fraction (0.20 in the paper).
 	Coverage float64
+	// FaultSeed is the base seed of the resilience campaigns' fault
+	// streams (the sweep runs FaultSeed, FaultSeed+1, ... so the outcome
+	// histogram sees independent fault placements). It is deliberately
+	// separate from Seed, which drives dataset generation.
+	FaultSeed uint64
 	// Parallelism bounds the Suite worker pool. Zero means GOMAXPROCS; 1
 	// forces sequential execution. Individual runners ignore it — an
 	// experiment is always one deterministic single-goroutine simulation.
@@ -49,6 +55,20 @@ type Options struct {
 	// cacheStats, when set by Suite, receives this run's dataset-cache
 	// hit/miss counts so telemetry can attribute them per experiment.
 	cacheStats *datasets.Counters
+	// ctx, when set by RunSafe, is the harness's cancellation context:
+	// runners attach it to the machines they build so watchdog timeouts
+	// and SIGINT cancel in-flight simulations cooperatively instead of
+	// abandoning the goroutines driving them. Nil behaves like a context
+	// that is never cancelled.
+	ctx context.Context
+}
+
+// Context returns the harness cancellation context, never nil.
+func (o Options) Context() context.Context {
+	if o.ctx == nil {
+		return context.Background()
+	}
+	return o.ctx
 }
 
 // Defaults fills zero values. The zero-value contract for the suite
@@ -65,6 +85,9 @@ func (o Options) Defaults() Options {
 	}
 	if o.Coverage == 0 {
 		o.Coverage = 0.20
+	}
+	if o.FaultSeed == 0 {
+		o.FaultSeed = 1
 	}
 	return o
 }
@@ -337,5 +360,8 @@ func rawDataset(ds Dataset, o Options, weighted bool) *graph.Graph {
 // per-vertex property footprint.
 func machinesFor(g *graph.Graph, vtxPropBytes int, o Options) (*core.Machine, *core.Machine) {
 	b, om := core.ScaledPair(g.NumVertices(), vtxPropBytes, o.Coverage)
-	return core.NewMachine(b), core.NewMachine(om)
+	mb, mo := core.NewMachine(b), core.NewMachine(om)
+	mb.AttachContext(o.ctx)
+	mo.AttachContext(o.ctx)
+	return mb, mo
 }

@@ -50,6 +50,7 @@ func Registry() []Spec {
 		{"Extension E6", ExtensionSeedSensitivity},
 		{"Extension E7", ExtensionTraversalDirection},
 		{"Resilience R1", RunResilience},
+		{"Resilience R2", RunResilienceCampaign},
 	}
 }
 
@@ -81,22 +82,40 @@ func FailedTable(id, reason string, diagnostics ...string) *Table {
 	return t
 }
 
+// cancelGrace is how long RunSafe waits, after cancelling the runner's
+// context, for the runner goroutine to unwind cooperatively before
+// declaring it abandoned. Machines poll their context every few thousand
+// scheduled items, so a healthy runner exits well inside the grace; only
+// a runner wedged outside the simulation loops (or one that never built a
+// machine) is actually abandoned.
+const cancelGrace = 500 * time.Millisecond
+
 // RunSafe executes spec.Run under the hardened harness: a panicking
-// runner is recovered into a failed Table carrying its stack trace, a
+// runner is recovered into a failed Table carrying its stack trace, and a
 // runner that exceeds the watchdog timeout (or outlives ctx — SIGINT in
-// cmd/omega-bench) is abandoned and reported as failed, and in every case
-// the caller gets a printable Table back so the rest of the suite keeps
-// going. timeout <= 0 disables the watchdog. A timed-out or cancelled
-// runner's goroutine is left to finish in the background (the simulator
-// has no preemption points); its eventual result is discarded.
+// cmd/omega-bench) is cancelled cooperatively — the machines it drives
+// unwind at their next cancellation poll — and reported as failed. In
+// every case the caller gets a printable Table back so the rest of the
+// suite keeps going. timeout <= 0 disables the watchdog. Only a runner
+// that ignores its context past the grace period leaks its goroutine;
+// its eventual result is discarded.
 func RunSafe(ctx context.Context, spec Spec, o Options, timeout time.Duration) *Table {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	o.ctx = runCtx
 	done := make(chan *Table, 1)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
+				if cancelPanic(r) {
+					// Cooperative unwind: the harness side picks the reason
+					// (cancelled vs watchdog); nil just signals clean exit.
+					done <- FailedTable(spec.ID, fmt.Sprintf("cancelled: %v", runCtx.Err()))
+					return
+				}
 				done <- FailedTable(spec.ID,
 					fmt.Sprintf("runner panicked: %v", r), string(debug.Stack()))
 			}
@@ -116,9 +135,30 @@ func RunSafe(ctx context.Context, spec Spec, o Options, timeout time.Duration) *
 		}
 		return t
 	case <-ctx.Done():
+		cancel()
+		awaitRunner(done)
 		return FailedTable(spec.ID, fmt.Sprintf("cancelled: %v", ctx.Err()))
 	case <-watchdog:
+		cancel()
+		if awaitRunner(done) {
+			return FailedTable(spec.ID,
+				fmt.Sprintf("watchdog: runner exceeded %v (cancelled cooperatively)", timeout))
+		}
 		return FailedTable(spec.ID,
 			fmt.Sprintf("watchdog: runner exceeded %v (abandoned)", timeout))
+	}
+}
+
+// awaitRunner gives a just-cancelled runner cancelGrace to unwind,
+// reporting whether it exited (its table, if any, is discarded — the
+// caller substitutes the cancellation/watchdog reason).
+func awaitRunner(done <-chan *Table) bool {
+	timer := time.NewTimer(cancelGrace)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return true
+	case <-timer.C:
+		return false
 	}
 }

@@ -84,8 +84,23 @@ func runMachines(o Options, spec algorithms.Spec, g *graph.Graph, cfgs ...core.C
 	fns := make([]func() core.MachineStats, len(cfgs))
 	for i, cfg := range cfgs {
 		fns[i] = func() core.MachineStats {
-			return spec.Run(ligra.New(core.NewMachine(cfg), g))
+			m := core.NewMachine(cfg)
+			// Cooperative cancellation: when the harness's context dies
+			// (watchdog, SIGINT), the simulation unwinds instead of running
+			// to completion. Attaching a context never perturbs results.
+			m.AttachContext(o.ctx)
+			return spec.Run(ligra.New(m, g))
 		}
 	}
 	return runVariants(o, fns...)
+}
+
+// cancelPanic unwraps a recovered panic value — directly, or carried out
+// of a variant goroutine by variantPanic — and reports whether it is a
+// cooperative cancellation raised by a Machine run loop.
+func cancelPanic(r any) bool {
+	if vp, ok := r.(*variantPanic); ok {
+		r = vp.value
+	}
+	return core.IsCancelled(r)
 }

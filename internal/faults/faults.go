@@ -80,11 +80,40 @@ type Config struct {
 	// SPDetectCycles is the parity-detection penalty charged to the
 	// access that trips it. Default 4.
 	SPDetectCycles memsys.Cycles
+
+	// DirFlipRate is the per-access probability that one occupied
+	// coherence-directory probe-table entry suffers a tag bit flip. The
+	// directory's per-entry check byte catches the flip on the next scrub
+	// pass (backward-shift-aware erase); with scrubbing disabled the
+	// corrupt entry silently perturbs sharer tracking.
+	DirFlipRate float64
+	// DirScrubCycles is the latency charged to the access that triggers a
+	// scrub repair. Default 6.
+	DirScrubCycles memsys.Cycles
+	// DisableDirScrub turns the scrubber off, leaving injected directory
+	// corruption in place — the silent-data-corruption arm of the
+	// directory site.
+	DisableDirScrub bool
+
+	// LineBufFlipRate is the per-install probability that a core's
+	// line-buffer memo is corrupted (stale latency bits). The memo's
+	// generation tag is scrambled along with it, so the generation check
+	// rejects the entry on its next lookup; the core.Config knob
+	// DisableLineBufGenCheck models hardware without the check, where the
+	// corrupt memo replays silently.
+	LineBufFlipRate float64
+
+	// ALUFlipRate is the per-offload probability that a PISC ALU result
+	// suffers a transient single-bit flip. Unlike every other site this
+	// one is functional: the corrupted value lands in the vtxProp array
+	// and only end-to-end output validation can see it.
+	ALUFlipRate float64
 }
 
 // Enabled reports whether any fault class has a non-zero rate.
 func (c Config) Enabled() bool {
-	return c.DRAMFlipRate > 0 || c.NoCDropRate > 0 || c.SPParityRate > 0
+	return c.DRAMFlipRate > 0 || c.NoCDropRate > 0 || c.SPParityRate > 0 ||
+		c.DirFlipRate > 0 || c.LineBufFlipRate > 0 || c.ALUFlipRate > 0
 }
 
 // Validate checks rates and bounds.
@@ -104,6 +133,9 @@ func (c Config) Validate() error {
 		{"DRAMSilentFraction", c.DRAMSilentFraction},
 		{"NoCDropRate", c.NoCDropRate},
 		{"SPParityRate", c.SPParityRate},
+		{"DirFlipRate", c.DirFlipRate},
+		{"LineBufFlipRate", c.LineBufFlipRate},
+		{"ALUFlipRate", c.ALUFlipRate},
 	} {
 		if err := check(p.name, p.v); err != nil {
 			return err
@@ -141,6 +173,9 @@ func (c Config) withDefaults() Config {
 	if c.SPDetectCycles == 0 {
 		c.SPDetectCycles = 4
 	}
+	if c.DirScrubCycles == 0 {
+		c.DirScrubCycles = 6
+	}
 	return c
 }
 
@@ -165,12 +200,32 @@ type Events struct {
 	// Scratchpad parity handling.
 	SPParityErrors     uint64 // parity trips
 	SPDegradedVertices uint64 // distinct vertex lines degraded to cache
+
+	// Coherence-directory probe-table corruption.
+	DirFlips        uint64 // injected entry tag flips
+	DirScrubRepairs uint64 // corrupt entries erased by the scrubber
+
+	// Line-buffer memo corruption.
+	LineBufFlips      uint64 // injected memo corruptions
+	LineBufGenCatches uint64 // corrupt memos rejected by generation checks
+
+	// PISC ALU transients (functional — corrupts algorithm outputs).
+	ALUFlips uint64
 }
 
 // Total returns the count of all fault events (not cycles/bytes).
 func (e Events) Total() uint64 {
 	return e.DRAMCorrected + e.DRAMDetected + e.DRAMSilent +
-		e.NoCDropped + e.SPParityErrors
+		e.NoCDropped + e.SPParityErrors +
+		e.DirFlips + e.LineBufFlips + e.ALUFlips
+}
+
+// Detected returns the count of fault events the machine's checkers
+// caught (corrected or surfaced): the campaign engine classifies a run
+// with Detected > 0 and correct outputs as detected-corrected.
+func (e Events) Detected() uint64 {
+	return e.DRAMCorrected + e.DRAMDetected + e.NoCDropped +
+		e.SPParityErrors + e.DirScrubRepairs + e.LineBufGenCatches
 }
 
 // Injector draws fault events for the three simulated memory paths. All
@@ -184,16 +239,26 @@ type Injector struct {
 	dramRand *stats.Rand
 	nocRand  *stats.Rand
 	spRand   *stats.Rand
+	dirRand  *stats.Rand
+	lbRand   *stats.Rand
+	aluRand  *stats.Rand
+
+	// seedSalt offsets the stream seeds; recovery re-executions bump it
+	// (Reseed) so a retried run draws a fresh fault pattern.
+	seedSalt uint64
 
 	ev Events
 }
 
-// Per-path stream tweaks: arbitrary odd constants so the three streams
-// are decorrelated even under adversarial seeds.
+// Per-path stream tweaks: arbitrary odd constants so the streams are
+// decorrelated even under adversarial seeds.
 const (
 	dramStream = 0x9E3779B97F4A7C15
 	nocStream  = 0xC2B2AE3D27D4EB4F
 	spStream   = 0x165667B19E3779F9
+	dirStream  = 0x27D4EB2F165667C5
+	lbStream   = 0x85EBCA77C2B2AE63
+	aluStream  = 0xFF51AFD7ED558CCD
 )
 
 // New builds an injector from cfg (after filling model-parameter
@@ -204,12 +269,29 @@ func New(cfg Config) *Injector {
 		panic(err)
 	}
 	cfg = cfg.withDefaults()
-	return &Injector{
+	in := &Injector{
 		cfg:      cfg,
-		dramRand: stats.NewRand(cfg.Seed ^ dramStream),
-		nocRand:  stats.NewRand(cfg.Seed ^ nocStream),
-		spRand:   stats.NewRand(cfg.Seed ^ spStream),
+		dramRand: &stats.Rand{},
+		nocRand:  &stats.Rand{},
+		spRand:   &stats.Rand{},
+		dirRand:  &stats.Rand{},
+		lbRand:   &stats.Rand{},
+		aluRand:  &stats.Rand{},
 	}
+	in.seedStreams()
+	return in
+}
+
+// seedStreams (re)derives every path stream from the configured seed plus
+// the current salt.
+func (in *Injector) seedStreams() {
+	base := in.cfg.Seed + in.seedSalt
+	in.dramRand.Seed(base ^ dramStream)
+	in.nocRand.Seed(base ^ nocStream)
+	in.spRand.Seed(base ^ spStream)
+	in.dirRand.Seed(base ^ dirStream)
+	in.lbRand.Seed(base ^ lbStream)
+	in.aluRand.Seed(base ^ aluStream)
 }
 
 // Config returns the (default-filled) configuration.
@@ -236,9 +318,58 @@ func (in *Injector) Reset() {
 		return
 	}
 	in.ev = Events{}
-	in.dramRand.Seed(in.cfg.Seed ^ dramStream)
-	in.nocRand.Seed(in.cfg.Seed ^ nocStream)
-	in.spRand.Seed(in.cfg.Seed ^ spStream)
+	in.seedStreams()
+}
+
+// Reseed bumps the stream salt and restarts every path stream, keeping
+// the event log. A recovery re-execution calls this so the retried run
+// sees a fresh, still-deterministic fault pattern (salt = attempt number)
+// instead of replaying the exact faults that just sank it.
+func (in *Injector) Reseed(salt uint64) {
+	if in == nil {
+		return
+	}
+	in.seedSalt = salt
+	in.seedStreams()
+}
+
+// State is an opaque injector checkpoint: stream cursors, salt, and the
+// event log.
+type State struct {
+	cursors [6][2]uint64
+	salt    uint64
+	ev      Events
+}
+
+// Snapshot captures the injector for later Restore.
+func (in *Injector) Snapshot() State {
+	if in == nil {
+		return State{}
+	}
+	var s State
+	for i, r := range in.streams() {
+		s.cursors[i][0], s.cursors[i][1] = r.State()
+	}
+	s.salt = in.seedSalt
+	s.ev = in.ev
+	return s
+}
+
+// Restore rewinds the injector to a Snapshot.
+func (in *Injector) Restore(s State) {
+	if in == nil {
+		return
+	}
+	for i, r := range in.streams() {
+		r.SetState(s.cursors[i][0], s.cursors[i][1])
+	}
+	in.seedSalt = s.salt
+	in.ev = s.ev
+}
+
+func (in *Injector) streams() [6]*stats.Rand {
+	return [6]*stats.Rand{in.dramRand, in.nocRand, in.spRand,
+		in.dirRand, in.lbRand, in.aluRand}
 }
 
 // DRAMRead draws the ECC outcome for one DRAM line read whose device
@@ -327,4 +458,64 @@ func (in *Injector) NoteSPDegraded() {
 		return
 	}
 	in.ev.SPDegradedVertices++
+}
+
+// DirFlip draws one directory-site event: on a hit it returns two raw
+// selectors — which occupied probe-table slot to corrupt and which tag
+// bit to flip — for the directory to apply.
+func (in *Injector) DirFlip() (slotSel, bitSel uint64, ok bool) {
+	if in == nil || in.cfg.DirFlipRate <= 0 {
+		return 0, 0, false
+	}
+	if in.dirRand.Float64() >= in.cfg.DirFlipRate {
+		return 0, 0, false
+	}
+	in.ev.DirFlips++
+	return in.dirRand.Uint64(), in.dirRand.Uint64(), true
+}
+
+// NoteDirScrubRepairs records corrupt directory entries erased by one
+// scrub pass.
+func (in *Injector) NoteDirScrubRepairs(n int) {
+	if in == nil || n <= 0 {
+		return
+	}
+	in.ev.DirScrubRepairs += uint64(n)
+}
+
+// LineBufFlip draws one line-buffer-site event: on a hit it returns a raw
+// selector for which latency bit of the freshly installed memo to flip.
+func (in *Injector) LineBufFlip() (bitSel uint64, ok bool) {
+	if in == nil || in.cfg.LineBufFlipRate <= 0 {
+		return 0, false
+	}
+	if in.lbRand.Float64() >= in.cfg.LineBufFlipRate {
+		return 0, false
+	}
+	in.ev.LineBufFlips++
+	return in.lbRand.Uint64(), true
+}
+
+// NoteLineBufGenCatch records a corrupt memo rejected by the generation
+// check (the detection arm of the line-buffer site).
+func (in *Injector) NoteLineBufGenCatch() {
+	if in == nil {
+		return
+	}
+	in.ev.LineBufGenCatches++
+}
+
+// ALUFlip draws one PISC ALU transient: on a hit it returns a single-bit
+// XOR mask the framework applies to the just-computed update result.
+// This is the one functional fault site — the corruption propagates into
+// algorithm outputs and only end-to-end validation can see it.
+func (in *Injector) ALUFlip() (mask uint64, ok bool) {
+	if in == nil || in.cfg.ALUFlipRate <= 0 {
+		return 0, false
+	}
+	if in.aluRand.Float64() >= in.cfg.ALUFlipRate {
+		return 0, false
+	}
+	in.ev.ALUFlips++
+	return 1 << (in.aluRand.Uint64() % 64), true
 }

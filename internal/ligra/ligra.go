@@ -164,6 +164,11 @@ func (f *Framework) Configure(mc pisc.Microcode) int {
 // Resident returns the scratchpad-resident vertex count.
 func (f *Framework) Resident() int { return f.resident }
 
+// Props returns the registered property arrays in registration order
+// (result validation in the resilience campaigns walks them to compare
+// algorithm outputs against a fault-free golden run).
+func (f *Framework) Props() []*PropArray { return f.props }
+
 // Raw returns the functional values without emitting simulated accesses
 // (initialization and result extraction).
 func (p *PropArray) Raw() []pisc.Value { return p.vals }
@@ -212,6 +217,14 @@ func (p *PropArray) Update(ctx *core.Ctx, v uint32, op pisc.Op, operand pisc.Val
 func (p *PropArray) AtomicUpdate(ctx *core.Ctx, v uint32, op pisc.Op, operand pisc.Value) bool {
 	ctx.Atomic(p.Region, int(v))
 	nv, changed := op.Apply(p.vals[v], operand)
+	if mask := ctx.TakeALUFault(); mask != 0 {
+		// Injected PISC ALU transient: the offloaded op computed a wrong
+		// value. The corruption lands in the functional result — algorithm
+		// outputs go wrong silently, exactly what SDC classification and
+		// re-execution recovery exist for.
+		nv ^= pisc.Value(mask)
+		changed = true
+	}
 	if changed {
 		p.vals[v] = nv
 	}

@@ -384,6 +384,57 @@ func (c *Cache) HitRate() float64 {
 	return float64(c.Reads.Hits+c.Writes.Hits) / float64(total)
 }
 
+// State is an opaque cache checkpoint: contents, replacement state, the
+// same-line memo, the generation, and statistics.
+type State struct {
+	tagp     []uint64
+	flags    []uint8
+	lastUse  []uint64
+	pinMask  []uint64
+	useClock uint64
+	hotLine  memsys.Addr
+	hotIdx   int
+	gen      uint64
+
+	reads, writes          stats.Ratio
+	evictions, writebacks  stats.Counter
+}
+
+// Snapshot captures the full cache state for later Restore.
+func (c *Cache) Snapshot() State {
+	return State{
+		tagp:       append([]uint64(nil), c.tagp...),
+		flags:      append([]uint8(nil), c.flags...),
+		lastUse:    append([]uint64(nil), c.lastUse...),
+		pinMask:    append([]uint64(nil), c.pinMask...),
+		useClock:   c.useClock,
+		hotLine:    c.hotLine,
+		hotIdx:     c.hotIdx,
+		gen:        c.gen,
+		reads:      c.Reads,
+		writes:     c.Writes,
+		evictions:  c.Evictions,
+		writebacks: c.Writebacks,
+	}
+}
+
+// Restore rewinds the cache to a Snapshot (which must come from a cache
+// of identical geometry).
+func (c *Cache) Restore(s State) {
+	copy(c.tagp, s.tagp)
+	copy(c.flags, s.flags)
+	copy(c.lastUse, s.lastUse)
+	copy(c.pinMask, s.pinMask)
+	c.useClock = s.useClock
+	c.hotLine = s.hotLine
+	c.hotIdx = s.hotIdx
+	c.gen = s.gen
+	c.Reads = s.reads
+	c.Writes = s.writes
+	c.Evictions = s.evictions
+	c.Writebacks = s.writebacks
+}
+
 // Reset clears contents and statistics. The line-buffer generation is NOT
 // reset — it advances, so memos taken before the Reset can never validate.
 func (c *Cache) Reset() {

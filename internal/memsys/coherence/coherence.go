@@ -28,6 +28,11 @@ import (
 type dirEntry struct {
 	line    memsys.Addr
 	sharers uint64 // bitmask of cores holding the line
+	// check is a per-entry integrity byte derived from the line tag
+	// (checkByte). An injected tag flip leaves it stale, so the scrubber
+	// can recognize and erase corrupt entries; real directories carry
+	// per-entry ECC/parity the same way.
+	check uint8
 	// resident is a superset of the cores whose L1 physically contains the
 	// line. Unlike sharers — which AcquireExclusive truncates, leaving
 	// stale-but-present copies untracked — resident bits are set on every
@@ -83,6 +88,13 @@ func dirHash(line memsys.Addr) uint64 {
 	return x
 }
 
+// checkByte derives an entry's integrity byte from its line tag, using
+// hash bits disjoint from the table-index bits so a flip that survives
+// the index is still caught.
+func checkByte(line memsys.Addr) uint8 {
+	return uint8(dirHash(line) >> 32)
+}
+
 // find returns the slot holding line, or -1.
 func (d *Directory) find(line memsys.Addr) int {
 	i := dirHash(line) & d.mask
@@ -111,7 +123,7 @@ func (d *Directory) findOrInsert(line memsys.Addr) int {
 					d.grow()
 					break // re-probe against the grown table
 				}
-				*e = dirEntry{line: line, owner: -1, used: true}
+				*e = dirEntry{line: line, check: checkByte(line), owner: -1, used: true}
 				d.count++
 				return int(i)
 			}
@@ -336,6 +348,81 @@ func (d *Directory) IsModifiedBy(line memsys.Addr, core int) bool {
 
 // Lines returns how many lines the directory currently tracks.
 func (d *Directory) Lines() int { return d.count }
+
+// CorruptEntry injects a single tag bit flip into one occupied
+// probe-table entry: slotSel picks the victim (the first occupied slot
+// scanning from slotSel&mask) and bitSel picks which line-number bit to
+// flip. The entry's check byte is left stale, exactly like a radiation
+// upset in a real directory SRAM. Reports false when the table is empty.
+func (d *Directory) CorruptEntry(slotSel, bitSel uint64) bool {
+	if d.count == 0 {
+		return false
+	}
+	i := slotSel & d.mask
+	for !d.entries[i].used {
+		i = (i + 1) & d.mask
+	}
+	// Flip a bit above the 64 B line offset, within the index/tag range
+	// real natural-graph footprints exercise.
+	d.entries[i].line ^= 1 << (6 + bitSel%10)
+	return true
+}
+
+// Scrub walks the probe table erasing every entry whose check byte no
+// longer matches its line tag — the detection-and-repair arm of the
+// directory fault site. Erasure uses the same backward-shift deletion as
+// Drop, so the table stays tombstone-free; a slot refilled by the shift
+// is rechecked before the walk advances (a corrupt entry can be moved
+// into an already-scanned slot, which the next scrub would catch — one
+// pass per triggering access is the model). Returns how many entries
+// were repaired (erased; a dropped entry just re-inserts on next use).
+func (d *Directory) Scrub() (repaired int) {
+	for i := uint64(0); i < uint64(len(d.entries)); {
+		e := &d.entries[i]
+		if e.used && e.check != checkByte(e.line) {
+			d.erase(i)
+			repaired++
+			continue // the erase may have shifted an entry into slot i
+		}
+		i++
+	}
+	return repaired
+}
+
+// State is an opaque directory checkpoint.
+type State struct {
+	entries []dirEntry
+	mask    uint64
+	count   int
+
+	invalidations, c2c, downgrades stats.Counter
+}
+
+// Snapshot captures the full directory state for later Restore.
+func (d *Directory) Snapshot() State {
+	return State{
+		entries:       append([]dirEntry(nil), d.entries...),
+		mask:          d.mask,
+		count:         d.count,
+		invalidations: d.Invalidations,
+		c2c:           d.C2CTransfers,
+		downgrades:    d.Downgrades,
+	}
+}
+
+// Restore rewinds the directory to a Snapshot.
+func (d *Directory) Restore(s State) {
+	if len(d.entries) == len(s.entries) {
+		copy(d.entries, s.entries)
+	} else {
+		d.entries = append([]dirEntry(nil), s.entries...)
+	}
+	d.mask = s.mask
+	d.count = s.count
+	d.Invalidations = s.invalidations
+	d.C2CTransfers = s.c2c
+	d.Downgrades = s.downgrades
+}
 
 // Reset clears all directory state and statistics. The table keeps its
 // grown capacity, so a Reset-and-rerun reaches steady state immediately.

@@ -182,6 +182,48 @@ func (d *DRAM) Utilization(elapsed memsys.Cycles) float64 {
 	return achieved / d.PeakBytesPerCycle()
 }
 
+// State is an opaque DRAM checkpoint.
+type State struct {
+	queues  []memsys.Queue
+	openRow [][]uint64
+
+	accesses, bytesMoved, queueDelay, eccPenalty stats.Counter
+	rowHits                                      stats.Ratio
+	lastBusy                                     memsys.Cycles
+}
+
+// Snapshot captures the device state for later Restore.
+func (d *DRAM) Snapshot() State {
+	s := State{
+		queues:     append([]memsys.Queue(nil), d.queues...),
+		openRow:    make([][]uint64, len(d.openRow)),
+		accesses:   d.Accesses,
+		bytesMoved: d.BytesMoved,
+		queueDelay: d.QueueDelay,
+		eccPenalty: d.ECCPenalty,
+		rowHits:    d.RowHits,
+		lastBusy:   d.lastBusy,
+	}
+	for i := range d.openRow {
+		s.openRow[i] = append([]uint64(nil), d.openRow[i]...)
+	}
+	return s
+}
+
+// Restore rewinds the device to a Snapshot.
+func (d *DRAM) Restore(s State) {
+	copy(d.queues, s.queues)
+	for i := range d.openRow {
+		copy(d.openRow[i], s.openRow[i])
+	}
+	d.Accesses = s.accesses
+	d.BytesMoved = s.bytesMoved
+	d.QueueDelay = s.queueDelay
+	d.ECCPenalty = s.eccPenalty
+	d.RowHits = s.rowHits
+	d.lastBusy = s.lastBusy
+}
+
 // Reset clears device state and statistics.
 func (d *DRAM) Reset() {
 	for i := range d.queues {

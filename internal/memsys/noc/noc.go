@@ -160,6 +160,35 @@ func (x *Crossbar) BytesByClass(c MsgClass) uint64 { return x.bytesBy[c].Value()
 // MessagesByClass returns the message count for one class.
 func (x *Crossbar) MessagesByClass(c MsgClass) uint64 { return x.msgsBy[c].Value() }
 
+// State is an opaque crossbar checkpoint.
+type State struct {
+	ports   []memsys.Queue
+	bytesBy [numClasses]stats.Counter
+	msgsBy  [numClasses]stats.Counter
+
+	queueWait, retryWait stats.Counter
+}
+
+// Snapshot captures the crossbar state for later Restore.
+func (x *Crossbar) Snapshot() State {
+	return State{
+		ports:     append([]memsys.Queue(nil), x.ports...),
+		bytesBy:   x.bytesBy,
+		msgsBy:    x.msgsBy,
+		queueWait: x.QueueWait,
+		retryWait: x.RetryWait,
+	}
+}
+
+// Restore rewinds the crossbar to a Snapshot.
+func (x *Crossbar) Restore(s State) {
+	copy(x.ports, s.ports)
+	x.bytesBy = s.bytesBy
+	x.msgsBy = s.msgsBy
+	x.QueueWait = s.queueWait
+	x.RetryWait = s.retryWait
+}
+
 // Reset clears busy state and statistics.
 func (x *Crossbar) Reset() {
 	for i := range x.ports {

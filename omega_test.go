@@ -97,8 +97,8 @@ func TestRunExperimentResolvesAllIDs(t *testing.T) {
 	if _, err := RunExperiment("Figure 99", ExperimentOptions{}); err == nil {
 		t.Fatal("unknown experiment should error")
 	}
-	if len(ExperimentIDs()) != 30 {
-		t.Fatalf("expected 30 experiment IDs, got %d", len(ExperimentIDs()))
+	if len(ExperimentIDs()) != 31 {
+		t.Fatalf("expected 31 experiment IDs, got %d", len(ExperimentIDs()))
 	}
 }
 
