@@ -24,12 +24,15 @@
 //	omega-bench -fault-seed 7       # re-key the campaign's fault streams
 //	omega-bench -tsv results/       # also write TSV files
 //	omega-bench -timeout 2m         # per-experiment watchdog
+//	omega-bench -metrics out.jsonl  # stream per-iteration metric samples
+//	omega-bench -json suite.json    # machine-readable suite summary
 //	omega-bench -cpuprofile cpu.out # profile the suite (go tool pprof)
 //	omega-bench -memprofile mem.out # end-of-suite heap profile
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +44,7 @@ import (
 	"time"
 
 	"omega/internal/experiments"
+	"omega/internal/obs"
 )
 
 func main() {
@@ -59,7 +63,10 @@ func run() error {
 		only     = flag.String("only", "", "run only experiments whose ID contains this substring")
 		tsvDir   = flag.String("tsv", "", "directory to write per-experiment TSV files")
 		chart    = flag.Int("chart", -1, "also render the given column as an ASCII bar chart")
-		jsonDir  = flag.String("json", "", "directory to write per-experiment JSON files")
+		jsonDir  = flag.String("json-dir", "", "directory to write per-experiment JSON files")
+		jsonPath = flag.String("json", "", "write a machine-readable suite summary JSON to this file")
+		metrics  = flag.String("metrics", "", "stream per-iteration metric samples to this file (.tsv = TSV, else JSONL)")
+		checkMet = flag.Bool("check-metrics", false, "schema-validate the -metrics JSONL after the run")
 		htmlPath = flag.String("html", "", "write a self-contained HTML report")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-experiment watchdog timeout (0 disables)")
 		serialVr = flag.Bool("serial-variants", false, "run machine variants inside each experiment sequentially (identical tables)")
@@ -123,6 +130,18 @@ func run() error {
 		Parallelism: *parallel, Timeout: *timeout,
 		SerialVariants: *serialVr, FaultSeed: *faultSd,
 	}
+	if *checkMet && *metrics == "" {
+		return fmt.Errorf("-check-metrics requires -metrics")
+	}
+	var metricsFlush func() error
+	if *metrics != "" {
+		sink, flush, err := openMetricsSink(*metrics)
+		if err != nil {
+			return err
+		}
+		opts.Metrics = sink
+		metricsFlush = flush
+	}
 	start := time.Now()
 
 	// Tables print in registry order while the pool completes them in
@@ -161,6 +180,23 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "interrupted; results collected before cancellation were emitted\n")
 	}
 	fmt.Println(res.Summary.Format())
+	if metricsFlush != nil {
+		if err := metricsFlush(); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		fmt.Printf("wrote %s\n", *metrics)
+		if *checkMet {
+			if err := validateMetrics(*metrics); err != nil {
+				return err
+			}
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeSuiteJSON(*jsonPath, opts, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 	if *htmlPath != "" {
 		if err := writeHTML(*htmlPath, opts, start, append(res.Tables, res.Summary)); err != nil {
 			return err
@@ -175,6 +211,107 @@ func run() error {
 		return fmt.Errorf("%d of %d experiments failed", n, len(res.Tables))
 	}
 	return nil
+}
+
+// openMetricsSink creates the -metrics output file and picks the encoding
+// by extension: .tsv gets the tabular series, anything else JSONL. The
+// returned flush closes out buffered writes and surfaces any sticky
+// writer error.
+func openMetricsSink(path string) (obs.Sink, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metrics: %w", err)
+	}
+	if strings.HasSuffix(path, ".tsv") {
+		w := obs.NewTSVWriter(f)
+		return w, func() error {
+			if err := w.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}, nil
+	}
+	w := obs.NewJSONLWriter(f)
+	return w, func() error {
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}
+
+// validateMetrics re-reads a JSONL metrics file and schema-checks every
+// sample (-check-metrics). TSV output is not validated.
+func validateMetrics(path string) error {
+	if strings.HasSuffix(path, ".tsv") {
+		fmt.Fprintln(os.Stderr, "omega-bench: -check-metrics skipped (TSV output)")
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("check-metrics: %w", err)
+	}
+	defer f.Close()
+	rep, err := obs.ValidateJSONL(f)
+	if err != nil {
+		return fmt.Errorf("check-metrics: %s: %w", path, err)
+	}
+	fmt.Printf("metrics valid: %d samples, %d experiments, %d machines, %d components\n",
+		rep.Samples, rep.Experiments, rep.Machines, rep.Components)
+	return nil
+}
+
+// suiteJSON is the -json machine-readable summary schema.
+type suiteJSON struct {
+	Scale       int              `json:"scale"`
+	Seed        uint64           `json:"seed"`
+	Coverage    float64          `json:"coverage"`
+	Parallelism int              `json:"parallelism"`
+	WallMS      int64            `json:"wall_ms"`
+	Failed      int              `json:"failed"`
+	Experiments []suiteJSONEntry `json:"experiments"`
+}
+
+type suiteJSONEntry struct {
+	ID          string `json:"id"`
+	WallMS      int64  `json:"wall_ms"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	Goroutines  int    `json:"peak_goroutines"`
+	Rows        int    `json:"rows"`
+	Failed      bool   `json:"failed"`
+}
+
+// writeSuiteJSON renders the suite result as machine-readable JSON for
+// scripts and CI, mirroring the telemetry summary table.
+func writeSuiteJSON(path string, opts experiments.Options, res *experiments.SuiteResult) error {
+	out := suiteJSON{
+		Scale:       opts.Scale,
+		Seed:        opts.Seed,
+		Coverage:    opts.Coverage,
+		Parallelism: res.Parallelism,
+		WallMS:      res.Wall.Milliseconds(),
+		Failed:      res.Failed(),
+		Experiments: make([]suiteJSONEntry, len(res.Telemetry)),
+	}
+	for i, te := range res.Telemetry {
+		rows := 0
+		if res.Tables[i] != nil {
+			rows = len(res.Tables[i].Rows)
+		}
+		out.Experiments[i] = suiteJSONEntry{
+			ID: te.ID, WallMS: te.Wall.Milliseconds(),
+			CacheHits: te.CacheHits, CacheMisses: te.CacheMisses,
+			Goroutines: te.Goroutines, Rows: rows, Failed: te.Failed,
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("json: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeTableArtifacts stores the per-experiment TSV/JSON renderings.

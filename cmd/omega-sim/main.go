@@ -8,12 +8,15 @@
 //	omega-sim -algo CC -graph ba -scale 13 -edgelist path/to/snap.txt -edge-errors 10
 //	omega-sim -algo PageRank -faults 1e-3 -fault-seed 7   # inject faults
 //	omega-sim -algo PageRank -fault-site directory:1e-3,pisc-alu:1e-4   # per-site rates
+//	omega-sim -algo PageRank -metrics run.jsonl           # per-iteration metric series
+//	omega-sim -algo PageRank -timeline spans.json         # chrome://tracing core activity
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"omega/internal/algorithms"
@@ -24,6 +27,7 @@ import (
 	"omega/internal/graph/gio"
 	"omega/internal/graph/reorder"
 	"omega/internal/ligra"
+	"omega/internal/obs"
 )
 
 func main() {
@@ -50,6 +54,8 @@ func run() error {
 		serial    = flag.Bool("serial", false, "with -machine both, simulate the machines one after the other")
 		verbose   = flag.Bool("v", false, "print full stats summaries")
 		jsonOut   = flag.Bool("json", false, "print machine stats as JSON instead of text")
+		metrics   = flag.String("metrics", "", "write per-iteration metric samples to this file (.tsv = TSV, else JSONL)")
+		timeline  = flag.String("timeline", "", "write a chrome://tracing span timeline of per-core activity to this file")
 	)
 	flag.Parse()
 
@@ -101,10 +107,30 @@ func run() error {
 		fmt.Print(st.Summary())
 		return nil
 	}
+	// Both observability outputs are mutex-protected sinks, so the
+	// concurrent -machine both path can share them; samples and spans
+	// carry the machine name, and the writers sort canonically at the
+	// end, so concurrent and -serial runs produce identical files.
+	var buf *obs.Buffer
+	if *metrics != "" {
+		buf = obs.NewBuffer()
+	}
+	var spans *obs.Timeline
+	if *timeline != "" {
+		spans = obs.NewTimeline()
+	}
 	simulate := func(cfg core.Config) (core.MachineStats, error) {
 		m, err := core.NewMachineChecked(cfg)
 		if err != nil {
 			return core.MachineStats{}, err
+		}
+		switch {
+		case buf != nil && spans != nil:
+			m.AttachSink(obs.Tee(buf, spans))
+		case buf != nil:
+			m.AttachSink(buf)
+		case spans != nil:
+			m.AttachSink(spans)
 		}
 		return spec.Run(ligra.New(m, g)), nil
 	}
@@ -178,8 +204,55 @@ func run() error {
 			}
 		}
 	}
+	if buf != nil {
+		if err := writeMetricsFile(*metrics, buf); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *metrics)
+	}
+	if spans != nil {
+		if err := writeTimelineFile(*timeline, spans); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d spans)\n", *timeline, spans.Len())
+	}
 	_ = verbose
 	return nil
+}
+
+// writeMetricsFile drains the buffered samples in canonical order into
+// path, as TSV (.tsv) or JSONL (anything else).
+func writeMetricsFile(path string, buf *obs.Buffer) error {
+	samples := buf.Drain()
+	obs.SortSamples(samples)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".tsv") {
+		w := obs.NewTSVWriter(f)
+		for _, s := range samples {
+			w.Sample(s)
+		}
+		return w.Flush()
+	}
+	w := obs.NewJSONLWriter(f)
+	for _, s := range samples {
+		w.Sample(s)
+	}
+	return w.Flush()
+}
+
+// writeTimelineFile renders the collected spans as a chrome://tracing
+// JSON document (load via chrome://tracing or https://ui.perfetto.dev).
+func writeTimelineFile(path string, tl *obs.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	defer f.Close()
+	return tl.WriteChromeTrace(f)
 }
 
 func buildGraph(family string, scale int, seed uint64, edgelist string, edgeErrs int, spec algorithms.Spec) (*graph.Graph, error) {

@@ -36,4 +36,15 @@ func main() {
 	fmt.Printf("\nspeedup:            %.2fx (paper: ~2.8x for PageRank)\n", cmp.Speedup())
 	fmt.Printf("traffic reduction:  %.2fx (paper: ~3.2x)\n", cmp.TrafficReduction())
 	fmt.Printf("energy saving:      %.2fx (paper: ~2.5x)\n", cmp.EnergySaving())
+
+	// 4. Look inside via the observability layer: Compare records both
+	// runs' per-iteration metric series (the same stream omega-bench
+	// -metrics writes). This supersedes poking at LevelProfile() maps.
+	offloads := uint64(0)
+	for _, s := range cmp.Series() {
+		if s.Machine == "omega" && s.Component == "machine" && s.Name == "offloads" {
+			offloads = s.Value // cumulative; the last sample is the total
+		}
+	}
+	fmt.Printf("PISC offloads:      %d (from Comparison.Series)\n", offloads)
 }

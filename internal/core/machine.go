@@ -9,6 +9,7 @@ import (
 	"omega/internal/memsys"
 	"omega/internal/memsys/dram"
 	"omega/internal/memsys/noc"
+	"omega/internal/obs"
 	"omega/internal/pisc"
 	"omega/internal/scratchpad"
 	"omega/internal/stats"
@@ -90,7 +91,27 @@ type Machine struct {
 	// seqCtx is the reusable core-0 context handed to Sequential bodies.
 	seqCtx Ctx
 
-	tracer Tracer
+	// lbHits/lbStores count line-buffer fast-path memo hits and arms;
+	// parRegions/seqRegions/schedItems count scheduler activity. All are
+	// observability-only: nothing in the simulation reads them back.
+	lbHits     stats.Counter
+	lbStores   stats.Counter
+	parRegions stats.Counter
+	seqRegions stats.Counter
+	schedItems stats.Counter
+
+	// reg is the machine's metric registry: read-only closures over the
+	// counters above and every component's, built once at construction.
+	reg *obs.Registry
+	// sink is the attached telemetry sink; accSink/spanSink cache the
+	// optional extension interfaces, resolved once at AttachSink so the
+	// per-access hot path pays one nil check, never a type assertion.
+	sink     obs.Sink
+	accSink  obs.AccessSink
+	spanSink obs.SpanSink
+	// finalEmitted guards the end-of-run registry flush in Stats() so
+	// repeated snapshots emit the final samples once.
+	finalEmitted bool
 }
 
 // schedState is the reusable scratch of ParallelForGrain. busy guards
@@ -100,6 +121,7 @@ type schedState struct {
 	nextChunk   []int
 	itemInChunk []int
 	ctxs        []Ctx
+	startClock  []memsys.Cycles // span-sink scratch: per-core region entry clocks
 	heap        coreHeap
 	busy        bool
 }
@@ -110,12 +132,6 @@ func levelIndex(l memsys.Level, atomic bool) int {
 		return int(l) + int(memsys.NumLevels)
 	}
 	return int(l)
-}
-
-// Tracer receives every simulated access with its timing outcome; see
-// package trace for the standard collector.
-type Tracer interface {
-	Record(now memsys.Cycles, a memsys.Access, r memsys.Result)
 }
 
 // NewMachine builds a machine from cfg. It panics on an invalid
@@ -166,8 +182,41 @@ func NewMachineChecked(cfg Config) (*Machine, error) {
 	} else {
 		m.hier = &baselineHier{m.path}
 	}
+	m.reg = buildRegistry(m)
 	return m, nil
 }
+
+// AttachSink installs the machine's telemetry sink (nil detaches). The
+// base Sink receives per-iteration registry samples at BeginIteration
+// boundaries plus one final flush in Stats; a sink additionally
+// implementing obs.AccessSink receives every simulated access, and one
+// implementing obs.SpanSink receives per-core activity spans from
+// parallel/sequential regions. The extension interfaces are resolved
+// here, once, so a samples-only sink adds no per-access work and a nil
+// sink costs one nil check per hook site.
+func (m *Machine) AttachSink(s obs.Sink) {
+	m.sink = s
+	m.accSink = nil
+	m.spanSink = nil
+	m.finalEmitted = false
+	if s == nil {
+		return
+	}
+	if a, ok := s.(obs.AccessSink); ok {
+		m.accSink = a
+	}
+	if sp, ok := s.(obs.SpanSink); ok {
+		m.spanSink = sp
+	}
+}
+
+// SinkAttached reports whether a telemetry sink is attached.
+func (m *Machine) SinkAttached() bool { return m.sink != nil }
+
+// Metrics returns the machine's metric registry: the live, read-only
+// view over every component's counters that samples are emitted from
+// and MachineStats is derived through.
+func (m *Machine) Metrics() *obs.Registry { return m.reg }
 
 // FaultEvents snapshots the injected-fault log (zero when injection is
 // disabled).
@@ -258,8 +307,20 @@ func (m *Machine) VertexProfile() []uint64 { return m.vertexProfile }
 // BeginIteration marks an algorithm iteration boundary. It also bumps the
 // line-buffer epoch: iteration boundaries change iteration-scoped state
 // (source vertex buffers), so every core's fast-path memo is dropped.
+//
+// With a sink attached, the boundary closes the previous iteration by
+// emitting every registered metric (cumulative values; a frontier gauge
+// set by the framework just before the call is attributed to the
+// iteration that produced it). Emission is a pure read of live counters
+// — it cannot perturb simulation state.
 func (m *Machine) BeginIteration() {
 	m.checkCancelNow()
+	if m.sink != nil {
+		if n := m.iterations.Value(); n > 0 {
+			m.reg.Emit(m.sink, m.cfg.Name, n)
+		}
+	}
+	m.finalEmitted = false
 	m.iterations.Inc()
 	m.fastEpoch++
 	m.hier.BeginIteration()
@@ -330,8 +391,8 @@ func (c *Ctx) access(r *Region, i int, op memsys.Op, srcRead, dependent bool) {
 			c.m.pendingALU = mask
 		}
 	}
-	if c.m.tracer != nil {
-		c.m.tracer.Record(core.Clock(), a, res)
+	if c.m.accSink != nil {
+		c.m.accSink.Access(core.Clock(), a, res)
 	}
 	li := levelIndex(res.Level, op == memsys.OpAtomic)
 	c.m.levelCount[li]++
@@ -362,6 +423,7 @@ func (m *Machine) fastRead(core *cpu.Core, a memsys.Access) memsys.Result {
 	line := memsys.LineAddr(a.Addr)
 	gen := l1.Gen() + m.fastEpoch
 	if lat, level, ok := core.LineBufLookup(line, gen); ok && l1.SameLineReadHit(line) {
+		m.lbHits.Inc()
 		return memsys.Result{Latency: lat, Blocking: a.Dependent, Level: level}
 	}
 	if m.faults != nil && core.LineBufCaught(line) {
@@ -380,6 +442,7 @@ func (m *Machine) fastRead(core *cpu.Core, a memsys.Access) memsys.Result {
 	// so a stale arm costs a lookup, never correctness. The generation is
 	// re-read after the probe: its fills may have advanced it.
 	core.LineBufStore(line, l1.Gen()+m.fastEpoch, l1.Latency(), memsys.LevelL1)
+	m.lbStores.Inc()
 	if m.faults != nil {
 		if bitSel, ok := m.faults.LineBufFlip(); ok {
 			// Transient in the just-armed memo: flip a latency bit above the
@@ -393,14 +456,17 @@ func (m *Machine) fastRead(core *cpu.Core, a memsys.Access) memsys.Result {
 	return res
 }
 
-// SetTracer installs an access tracer (nil disables tracing).
-func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
-
 // LevelProfile returns per-level access counts and summed latencies, keyed
 // by the level name ("L1", "SP-local", ...) with atomics reported
 // separately under an "atomic:" prefix ("atomic:PISC", ...). The maps are
 // materialized here from the dense per-level arrays the access path
 // maintains; only levels that served at least one access appear.
+//
+// Deprecated-ish: prefer the observability layer for new code — the same
+// numbers stream through AttachSink as machine/level_count and
+// machine/level_latency samples, per iteration and with the rest of the
+// registry (see Metrics). LevelProfile remains for end-of-run spot
+// checks and existing tests.
 func (m *Machine) LevelProfile() (counts, latencies map[string]uint64) {
 	counts = make(map[string]uint64, len(m.levelCount))
 	latencies = make(map[string]uint64, len(m.levelLatency))
@@ -490,6 +556,14 @@ func (m *Machine) ParallelForGrain(n, chunk int, body func(ctx *Ctx, i int)) {
 	numChunks := (n + chunk - 1) / chunk
 	s := m.acquireSched(p)
 	defer m.releaseSched(s)
+	m.parRegions.Inc()
+	m.schedItems.Add(uint64(n))
+	spans := m.spanSink != nil
+	if spans {
+		for c := 0; c < p; c++ {
+			s.startClock[c] = m.cores[c].Clock()
+		}
+	}
 
 	// nextChunk[c] is the next chunk index owned by core c: OpenMP
 	// schedule(static, chunk) hands core c chunks c, c+p, c+2p, ...;
@@ -536,6 +610,20 @@ func (m *Machine) ParallelForGrain(n, chunk int, body func(ctx *Ctx, i int)) {
 		// Only the selected core's clock advanced; re-seat it.
 		s.heap.fixMin()
 	}
+	if spans {
+		// Emit one span per core that did work, with clocks read before the
+		// barrier aligns them (the idle tail is the interesting signal).
+		for c := 0; c < p; c++ {
+			end := m.cores[c].Clock()
+			if end == s.startClock[c] {
+				continue
+			}
+			m.spanSink.Span(obs.Span{
+				Machine: m.cfg.Name, Core: c, Name: "parallel",
+				Start: s.startClock[c], End: end,
+			})
+		}
+	}
 	m.Barrier()
 }
 
@@ -555,6 +643,7 @@ func (m *Machine) acquireSched(p int) *schedState {
 		s.nextChunk = make([]int, p)
 		s.itemInChunk = make([]int, p)
 		s.ctxs = make([]Ctx, p)
+		s.startClock = make([]memsys.Cycles, p)
 		for c := range s.ctxs {
 			s.ctxs[c] = Ctx{m: m, core: c}
 		}
@@ -562,6 +651,7 @@ func (m *Machine) acquireSched(p int) *schedState {
 	s.nextChunk = s.nextChunk[:p]
 	s.itemInChunk = s.itemInChunk[:p]
 	s.ctxs = s.ctxs[:p]
+	s.startClock = s.startClock[:p]
 	s.heap.reset(m.cores)
 	return s
 }
@@ -572,8 +662,18 @@ func (m *Machine) releaseSched(s *schedState) { s.busy = false }
 // inter-region glue on one thread), then synchronizes all cores.
 func (m *Machine) Sequential(body func(ctx *Ctx)) {
 	m.checkCancelNow()
+	m.seqRegions.Inc()
+	start := m.cores[0].Clock()
 	m.seqCtx = Ctx{m: m, core: 0}
 	body(&m.seqCtx)
+	if m.spanSink != nil {
+		if end := m.cores[0].Clock(); end != start {
+			m.spanSink.Span(obs.Span{
+				Machine: m.cfg.Name, Core: 0, Name: "sequential",
+				Start: start, End: end,
+			})
+		}
+	}
 	m.Barrier()
 }
 

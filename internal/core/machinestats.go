@@ -99,67 +99,88 @@ func (s MachineStats) Speedup(other MachineStats) float64 {
 	return float64(other.Cycles) / float64(s.Cycles)
 }
 
-// Stats snapshots the machine's statistics.
+// Stats snapshots the machine's statistics. The snapshot is a *view over
+// the metric registry*: every field a registered probe covers is read
+// through registry lookups, so MachineStats and the emitted sample
+// stream are derived from the same descriptors and can never disagree.
+// (DRAMUtilized and Faults stay direct: bandwidth utilization is a
+// float ratio against peak, and the fault log is structured, neither
+// representable as a uint64 sample.)
+//
+// With a sink attached, the first Stats call after the last iteration
+// also flushes the registry once, labeled with the final iteration
+// number: BeginIteration(n+1) closes iteration n, so the end-of-run
+// flush closes the last iteration N — giving a complete 1..N series.
 func (m *Machine) Stats() MachineStats {
+	if m.sink != nil && !m.finalEmitted {
+		m.reg.Emit(m.sink, m.cfg.Name, m.iterations.Value())
+		m.finalEmitted = true
+	}
+	g := m.reg.Get
 	s := MachineStats{
 		Name:   m.cfg.Name,
 		Cycles: m.ElapsedCycles(),
 	}
-	for _, c := range m.cores {
-		s.Instructions += c.Instructions()
-		b := c.Breakdown()
-		s.TMAM.Retiring += b.Retiring
-		s.TMAM.Frontend += b.Frontend
-		s.TMAM.MemoryBound += b.MemoryBound
-		s.TMAM.CoreBound += b.CoreBound
-		s.BlockingStall += uint64(c.BlockingStall)
-		s.WindowStall += uint64(c.WindowStall)
-		s.DrainStall += uint64(c.DrainStall)
-		s.OffloadStall += uint64(c.OffloadStall)
+	s.Instructions = g("cpu", "instructions", "")
+	s.TMAM = cpu.Breakdown{
+		Retiring:    memsys.Cycles(g("cpu", "retiring", "")),
+		Frontend:    memsys.Cycles(g("cpu", "frontend", "")),
+		MemoryBound: memsys.Cycles(g("cpu", "memory_bound", "")),
+		CoreBound:   memsys.Cycles(g("cpu", "core_bound", "")),
 	}
-	l1h, l1t := m.path.l1HitRate()
+	s.BlockingStall = g("cpu", "blocking_stall", "")
+	s.WindowStall = g("cpu", "window_stall", "")
+	s.DrainStall = g("cpu", "drain_stall", "")
+	s.OffloadStall = g("cpu", "offload_stall", "")
+	l1 := memsys.LevelL1.String()
+	l2 := memsys.LevelL2Plus.String()
+	l1h := g("cache", "read_hits", l1) + g("cache", "write_hits", l1)
+	l1t := g("cache", "read_total", l1) + g("cache", "write_total", l1)
 	if l1t > 0 {
 		s.L1HitRate = float64(l1h) / float64(l1t)
 	}
-	l2h, l2t := m.path.l2HitRate()
+	l2h := g("cache", "read_hits", l2) + g("cache", "write_hits", l2)
+	l2t := g("cache", "read_total", l2) + g("cache", "write_total", l2)
 	if l2t > 0 {
 		s.L2HitRate = float64(l2h) / float64(l2t)
 	}
 	s.LLCHitRate = s.L2HitRate
 	if m.omega != nil {
-		sp := m.omega.ctrl.Accesses()
+		sp := g("scratchpad", "local", "") + g("scratchpad", "remote", "")
 		s.SPAccesses = sp
 		if sp > 0 {
-			s.SPLocalFraction = float64(m.omega.ctrl.LocalAccesses.Value()) / float64(sp)
+			s.SPLocalFraction = float64(g("scratchpad", "local", "")) / float64(sp)
 		}
-		s.SrcBufHitRate = m.omega.ctrl.SrcBufHits.Rate()
-		s.SPResident = m.omega.ctrl.ResidentCount()
-		s.SPDegraded = m.omega.ctrl.DegradedCount()
-		for _, e := range m.omega.engines {
-			s.PISCOps += e.Executed.Value()
+		if sbt := g("scratchpad", "srcbuf_total", ""); sbt > 0 {
+			s.SrcBufHitRate = float64(g("scratchpad", "srcbuf_hits", "")) / float64(sbt)
 		}
+		s.SPResident = int(g("scratchpad", "resident", ""))
+		s.SPDegraded = int(g("scratchpad", "degraded", ""))
+		s.PISCOps = g("pisc", "executed", "")
 		if l2t+sp > 0 {
 			s.LLCHitRate = float64(l2h+sp) / float64(l2t+sp)
 		}
 	}
-	s.DRAMAccesses = m.mem.Accesses.Value()
-	s.DRAMBytes = m.mem.BytesMoved.Value()
-	s.DRAMRowHit = m.mem.RowHits.Rate()
-	s.DRAMUtilized = m.mem.Utilization(s.Cycles)
-	s.DRAMQueueWait = m.mem.QueueDelay.Value()
-	s.NoCBytes = m.xbar.TotalBytes()
-	s.NoCLineBytes = m.xbar.BytesByClass(noc.ClassLine)
-	s.NoCWordBytes = m.xbar.BytesByClass(noc.ClassWord)
-	s.NoCCtrlBytes = m.xbar.BytesByClass(noc.ClassCtrl)
-	s.NoCQueueWait = m.xbar.QueueWait.Value()
-	s.Invalidations = m.path.dir.Invalidations.Value()
-	s.C2CTransfers = m.path.dir.C2CTransfers.Value()
-	for k := range s.AccessesByKind {
-		s.AccessesByKind[k] = m.accessesByKind[k].Value()
+	s.DRAMAccesses = g("dram", "accesses", "")
+	s.DRAMBytes = g("dram", "bytes", "")
+	if rt := g("dram", "row_total", ""); rt > 0 {
+		s.DRAMRowHit = float64(g("dram", "row_hits", "")) / float64(rt)
 	}
-	s.Atomics = m.atomicsIssued.Value()
-	s.SrcReads = m.srcReads.Value()
-	s.Iterations = m.iterations.Value()
+	s.DRAMUtilized = m.mem.Utilization(s.Cycles)
+	s.DRAMQueueWait = g("dram", "queue_wait", "")
+	s.NoCLineBytes = g("noc", "bytes", noc.ClassLine.String())
+	s.NoCWordBytes = g("noc", "bytes", noc.ClassWord.String())
+	s.NoCCtrlBytes = g("noc", "bytes", noc.ClassCtrl.String())
+	s.NoCBytes = s.NoCLineBytes + s.NoCWordBytes + s.NoCCtrlBytes
+	s.NoCQueueWait = g("noc", "queue_wait", "")
+	s.Invalidations = g("coherence", "invalidations", "")
+	s.C2CTransfers = g("coherence", "c2c_transfers", "")
+	for k := range s.AccessesByKind {
+		s.AccessesByKind[k] = g("machine", "accesses", memsys.Kind(k).String())
+	}
+	s.Atomics = g("machine", "atomics", "")
+	s.SrcReads = g("machine", "src_reads", "")
+	s.Iterations = g("machine", "iterations", "")
 	s.Faults = m.faults.Events()
 	return s
 }
@@ -184,6 +205,12 @@ func (m *Machine) Reset() {
 	m.atomicsIssued.Reset()
 	m.srcReads.Reset()
 	m.iterations.Reset()
+	m.lbHits.Reset()
+	m.lbStores.Reset()
+	m.parRegions.Reset()
+	m.seqRegions.Reset()
+	m.schedItems.Reset()
+	m.finalEmitted = false
 	m.levelCount = [2 * memsys.NumLevels]uint64{}
 	m.levelLatency = [2 * memsys.NumLevels]uint64{}
 	if m.vertexProfile != nil {

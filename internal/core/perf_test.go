@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"omega/internal/memsys"
+	"omega/internal/obs"
 	"omega/internal/pisc"
 	"omega/internal/scratchpad"
 )
@@ -132,6 +133,48 @@ func TestAccessPathZeroAlloc(t *testing.T) {
 				t.Fatalf("steady-state access path allocates %.1f objects/iteration, want 0", allocs)
 			}
 		})
+	}
+}
+
+// TestAccessPathZeroAllocWithSink pins the observability overhead
+// contract: the access path stays allocation-free both with a nil sink
+// explicitly attached (the detached fast path is one nil check) and
+// with a samples-only sink attached — a plain Sink is not an
+// AccessSink, so the per-access hook stays disabled and emission cost
+// is confined to iteration boundaries.
+func TestAccessPathZeroAllocWithSink(t *testing.T) {
+	sinks := []struct {
+		name string
+		sink obs.Sink
+	}{
+		{"nil", nil},
+		{"samples-only", obs.NewBuffer()},
+	}
+	for _, mc := range []struct {
+		name  string
+		omega bool
+	}{{"baseline", false}, {"omega", true}} {
+		for _, sk := range sinks {
+			t.Run(mc.name+"/"+sk.name, func(t *testing.T) {
+				m, r := perfMachine(mc.omega)
+				m.AttachSink(sk.sink)
+				warmAccess(m, r)
+				i := 0
+				body := func(ctx *Ctx) {
+					j := i & (perfN - 1)
+					ctx.Read(r, j)
+					ctx.Write(r, j)
+					ctx.Atomic(r, j)
+					ctx.ReadSrc(r, j)
+					i++
+				}
+				allocs := testing.AllocsPerRun(2000, func() { m.Sequential(body) })
+				if allocs != 0 {
+					t.Fatalf("access path with %s sink allocates %.1f objects/iteration, want 0",
+						sk.name, allocs)
+				}
+			})
+		}
 	}
 }
 

@@ -54,6 +54,11 @@ type MachineState struct {
 	atomicsIssued  stats.Counter
 	srcReads       stats.Counter
 	iterations     stats.Counter
+	lbHits         stats.Counter
+	lbStores       stats.Counter
+	parRegions     stats.Counter
+	seqRegions     stats.Counter
+	schedItems     stats.Counter
 	vertexProfile  []uint64
 	levelCount     [2 * memsys.NumLevels]uint64
 	levelLatency   [2 * memsys.NumLevels]uint64
@@ -85,6 +90,11 @@ func (m *Machine) Snapshot() *MachineState {
 		atomicsIssued:  m.atomicsIssued,
 		srcReads:       m.srcReads,
 		iterations:     m.iterations,
+		lbHits:         m.lbHits,
+		lbStores:       m.lbStores,
+		parRegions:     m.parRegions,
+		seqRegions:     m.seqRegions,
+		schedItems:     m.schedItems,
 		levelCount:     m.levelCount,
 		levelLatency:   m.levelLatency,
 		fastEpoch:      m.fastEpoch,
@@ -169,6 +179,11 @@ func (m *Machine) Restore(s *MachineState) {
 	m.atomicsIssued = s.atomicsIssued
 	m.srcReads = s.srcReads
 	m.iterations = s.iterations
+	m.lbHits = s.lbHits
+	m.lbStores = s.lbStores
+	m.parRegions = s.parRegions
+	m.seqRegions = s.seqRegions
+	m.schedItems = s.schedItems
 	m.levelCount = s.levelCount
 	m.levelLatency = s.levelLatency
 	m.fastEpoch = s.fastEpoch

@@ -82,7 +82,7 @@ func AblationReordering(o Options) *Table {
 		fns[i] = func() core.MachineStats {
 			g := reorder.Apply(orig, reorder.Compute(orig, m))
 			baseCfg, _ := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, o.Coverage)
-			return spec.Run(ligra.New(core.NewMachine(baseCfg), g))
+			return spec.Run(ligra.New(o.newMachine(baseCfg, m.String()), g))
 		}
 	}
 	// The speedup column is relative to Identity, so rows are computed

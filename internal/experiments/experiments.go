@@ -18,6 +18,7 @@ import (
 	"omega/internal/graph/datasets"
 	"omega/internal/graph/gen"
 	"omega/internal/graph/reorder"
+	"omega/internal/obs"
 )
 
 // Options configures an experiment run.
@@ -52,6 +53,14 @@ type Options struct {
 	// sharing a (generator, scale, seed, reorder) tuple build the graph
 	// once. Nil means every runner generates its graphs from scratch.
 	Datasets *datasets.Cache
+	// Metrics, when set, receives the per-iteration metric samples of
+	// every machine the experiments build, stamped with the experiment ID
+	// and a run label (dataset or algorithm/dataset). Samples arrive
+	// canonically sorted per experiment and in suite (spec) order under
+	// Suite, so parallel and sequential runs emit byte-identical series.
+	// Observation is read-only: tables are bit-identical with or without
+	// a sink. Nil (the default) disables metrics entirely.
+	Metrics obs.Sink
 	// cacheStats, when set by Suite, receives this run's dataset-cache
 	// hit/miss counts so telemetry can attribute them per experiment.
 	cacheStats *datasets.Counters
@@ -61,6 +70,11 @@ type Options struct {
 	// abandoning the goroutines driving them. Nil behaves like a context
 	// that is never cancelled.
 	ctx context.Context
+	// sink, when set by RunSafe, is the per-experiment sample buffer the
+	// run's machines emit into (thread-safe: variant goroutines share
+	// it). RunSafe drains it, sorts canonically, stamps the experiment
+	// ID, and replays into Metrics — the determinism contract above.
+	sink obs.Sink
 }
 
 // Context returns the harness cancellation context, never nil.
@@ -360,8 +374,19 @@ func rawDataset(ds Dataset, o Options, weighted bool) *graph.Graph {
 // per-vertex property footprint.
 func machinesFor(g *graph.Graph, vtxPropBytes int, o Options) (*core.Machine, *core.Machine) {
 	b, om := core.ScaledPair(g.NumVertices(), vtxPropBytes, o.Coverage)
-	mb, mo := core.NewMachine(b), core.NewMachine(om)
-	mb.AttachContext(o.ctx)
-	mo.AttachContext(o.ctx)
-	return mb, mo
+	return o.newMachine(b, g.Name), o.newMachine(om, g.Name)
+}
+
+// newMachine builds one experiment machine: the harness context is
+// attached for cooperative cancellation and, when this run buffers
+// metrics, the machine emits into the run's sample buffer under the
+// given run label (machine name distinguishes baseline/omega within a
+// run). Neither attachment perturbs simulation results.
+func (o Options) newMachine(cfg core.Config, run string) *core.Machine {
+	m := core.NewMachine(cfg)
+	m.AttachContext(o.ctx)
+	if o.sink != nil {
+		m.AttachSink(obs.WithRun(o.sink, run))
+	}
+	return m
 }

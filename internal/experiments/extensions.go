@@ -154,15 +154,19 @@ func ExtensionGraphMat(o Options) *Table {
 		// variants — two frameworks × two machines — fan out together.
 		gmBaseCfg, gmOmCfg := core.ScaledPair(pr.g.NumVertices(), 16, o.Coverage)
 		res := runVariants(o,
-			func() core.MachineStats { return spec.Run(ligra.New(core.NewMachine(baseCfg), pr.g)) },
-			func() core.MachineStats { return spec.Run(ligra.New(core.NewMachine(omCfg), pr.g)) },
 			func() core.MachineStats {
-				mb := core.NewMachine(gmBaseCfg)
+				return spec.Run(ligra.New(o.newMachine(baseCfg, "ligra/"+name), pr.g))
+			},
+			func() core.MachineStats {
+				return spec.Run(ligra.New(o.newMachine(omCfg, "ligra/"+name), pr.g))
+			},
+			func() core.MachineStats {
+				mb := o.newMachine(gmBaseCfg, "graphmat/"+name)
 				graphmat.RunPageRank(mb, pr.g, 1, 0.85)
 				return mb.Stats()
 			},
 			func() core.MachineStats {
-				mo := core.NewMachine(gmOmCfg)
+				mo := o.newMachine(gmOmCfg, "graphmat/"+name)
 				graphmat.RunPageRank(mo, pr.g, 1, 0.85)
 				return mo.Stats()
 			},
@@ -285,7 +289,7 @@ func ExtensionTraversalDirection(o Options) *Table {
 		{"auto (dense-pull)", true, ligra.Auto},
 	} {
 		run := func(cfg core.Config) core.MachineStats {
-			fw := ligra.New(core.NewMachine(cfg), pr.g)
+			fw := ligra.New(o.newMachine(cfg, v.name), pr.g)
 			fw.SetDensePull(v.pull)
 			runBFSMode(fw, root, v.mode)
 			return fw.Machine().Stats()
@@ -373,10 +377,10 @@ func dynamicRun(spec algorithms.Spec, g *graph.Graph, o Options) (speedup, hotCo
 	}
 	res := runVariants(o,
 		func() result {
-			return result{st: spec.Run(ligra.New(core.NewMachine(baseCfg), g))}
+			return result{st: spec.Run(ligra.New(o.newMachine(baseCfg, g.Name), g))}
 		},
 		func() result {
-			mo := core.NewMachine(omCfg)
+			mo := o.newMachine(omCfg, g.Name)
 			mo.EnableVertexProfile(g.NumVertices())
 			st := spec.Run(ligra.New(mo, g))
 			return result{st: st, prof: mo.VertexProfile()}

@@ -6,6 +6,8 @@ import (
 	"runtime/debug"
 	"strings"
 	"time"
+
+	"omega/internal/obs"
 )
 
 // Spec registers one experiment runner under the ID its artifacts use.
@@ -106,6 +108,15 @@ func RunSafe(ctx context.Context, spec Spec, o Options, timeout time.Duration) *
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	o.ctx = runCtx
+	var buf *obs.Buffer
+	if o.Metrics != nil {
+		// Machines built by this run emit into a private buffer; the
+		// samples reach o.Metrics only after the runner exits cleanly —
+		// sorted, stamped, and replayed below — so concurrent variant
+		// goroutines and abandoned runners never write to the user's sink.
+		buf = obs.NewBuffer()
+		o.sink = buf
+	}
 	done := make(chan *Table, 1)
 	go func() {
 		defer func() {
@@ -128,24 +139,60 @@ func RunSafe(ctx context.Context, spec Spec, o Options, timeout time.Duration) *
 		defer timer.Stop()
 		watchdog = timer.C
 	}
+	var tbl *Table
 	select {
 	case t := <-done:
 		if t == nil {
-			return FailedTable(spec.ID, "runner returned no table")
+			tbl = FailedTable(spec.ID, "runner returned no table")
+		} else {
+			tbl = t
 		}
-		return t
 	case <-ctx.Done():
 		cancel()
 		awaitRunner(done)
-		return FailedTable(spec.ID, fmt.Sprintf("cancelled: %v", ctx.Err()))
+		tbl = FailedTable(spec.ID, fmt.Sprintf("cancelled: %v", ctx.Err()))
 	case <-watchdog:
 		cancel()
 		if awaitRunner(done) {
-			return FailedTable(spec.ID,
+			tbl = FailedTable(spec.ID,
 				fmt.Sprintf("watchdog: runner exceeded %v (cancelled cooperatively)", timeout))
+		} else {
+			tbl = FailedTable(spec.ID,
+				fmt.Sprintf("watchdog: runner exceeded %v (abandoned)", timeout))
 		}
-		return FailedTable(spec.ID,
-			fmt.Sprintf("watchdog: runner exceeded %v (abandoned)", timeout))
+	}
+	emitRunMetrics(o.Metrics, buf, spec.ID, tbl)
+	return tbl
+}
+
+// emitRunMetrics forwards a finished run's buffered samples to the
+// user's sink: canonically sorted (variant goroutines interleave
+// nondeterministically; the sort restores a total order), stamped with
+// the experiment ID, and followed by harness-level samples (row count,
+// failure marker) so even machine-less experiments emit. Failed tables
+// forward only the harness samples — an abandoned runner may still be
+// writing to the buffer, and a cancelled run's partial series is not
+// deterministic.
+func emitRunMetrics(sink obs.Sink, buf *obs.Buffer, id string, t *Table) {
+	if sink == nil {
+		return
+	}
+	if buf != nil && !t.Failed {
+		samples := buf.Drain()
+		obs.SortSamples(samples)
+		for i := range samples {
+			samples[i].Experiment = id
+			sink.Sample(samples[i])
+		}
+	}
+	h := obs.MetricSample{Experiment: id, Machine: "harness", Component: "harness"}
+	if n := uint64(len(t.Rows)); n > 0 {
+		h.Name, h.Value = "rows", n
+		sink.Sample(h)
+	}
+	if t.Failed {
+		h.Name, h.Value = "failed", 1
+		sink.Sample(h)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"omega/internal/graph/datasets"
+	"omega/internal/obs"
 )
 
 // SuiteEvent reports one completed experiment to the Suite progress
@@ -103,6 +104,18 @@ func Suite(ctx context.Context, specs []Spec, o Options, progress func(SuiteEven
 	if o.Datasets == nil {
 		o.Datasets = datasets.New()
 	}
+	// Under parallelism, experiments finish in nondeterministic order, so
+	// each spec's samples land in a private buffer; after the pool drains
+	// they are flushed to the user's sink in spec order. RunSafe already
+	// sorts within an experiment, making the full series deterministic:
+	// parallel and sequential suite runs emit byte-identical streams.
+	var specBufs []*obs.Buffer
+	if o.Metrics != nil {
+		specBufs = make([]*obs.Buffer, len(specs))
+		for i := range specBufs {
+			specBufs[i] = obs.NewBuffer()
+		}
+	}
 
 	start := time.Now()
 	res := &SuiteResult{
@@ -127,6 +140,9 @@ func Suite(ctx context.Context, specs []Spec, o Options, progress func(SuiteEven
 				ro := o
 				rec := &datasets.Counters{}
 				ro.cacheStats = rec
+				if specBufs != nil {
+					ro.Metrics = specBufs[i]
+				}
 				gStart := runtime.NumGoroutine()
 				t0 := time.Now()
 				var tbl *Table
@@ -163,6 +179,13 @@ func Suite(ctx context.Context, specs []Spec, o Options, progress func(SuiteEven
 		}()
 	}
 	wg.Wait()
+	if specBufs != nil {
+		for _, b := range specBufs {
+			for _, s := range b.Drain() {
+				o.Metrics.Sample(s)
+			}
+		}
+	}
 	res.Wall = time.Since(start)
 	res.Summary = suiteSummary(res, o.Datasets)
 	return res

@@ -84,11 +84,10 @@ func runMachines(o Options, spec algorithms.Spec, g *graph.Graph, cfgs ...core.C
 	fns := make([]func() core.MachineStats, len(cfgs))
 	for i, cfg := range cfgs {
 		fns[i] = func() core.MachineStats {
-			m := core.NewMachine(cfg)
-			// Cooperative cancellation: when the harness's context dies
-			// (watchdog, SIGINT), the simulation unwinds instead of running
-			// to completion. Attaching a context never perturbs results.
-			m.AttachContext(o.ctx)
+			// newMachine attaches the harness context (cooperative
+			// cancellation on watchdog/SIGINT) and the metrics sink when
+			// enabled; neither perturbs results.
+			m := o.newMachine(cfg, spec.Name+"/"+g.Name)
 			return spec.Run(ligra.New(m, g))
 		}
 	}

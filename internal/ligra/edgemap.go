@@ -37,6 +37,12 @@ const (
 // frontier. It reproduces Ligra's direction-switching heuristic and the
 // bookkeeping traffic of frontier maintenance.
 func (f *Framework) EdgeMap(frontier *VertexSubset, fns EdgeMapFns, mode Mode) *VertexSubset {
+	if f.m.SinkAttached() {
+		// Publish the frontier entering this edgeMap before the iteration
+		// boundary emits: the frontier is the previous iteration's output,
+		// so the sample closing that iteration carries it.
+		f.frontierSize = uint64(frontier.Size())
+	}
 	f.m.BeginIteration()
 	switch mode {
 	case Push:

@@ -65,6 +65,12 @@ type Framework struct {
 	configured bool
 	resident   int
 
+	// frontierSize caches the size of the frontier entering the current
+	// edgeMap, feeding the "ligra/frontier_size" gauge. It is maintained
+	// only while a telemetry sink is attached (Size() walks dense
+	// bitmaps, too costly to pay unobserved).
+	frontierSize uint64
+
 	// Mode statistics for analysis: edgeMap invocations and edges
 	// traversed per direction.
 	DenseMaps   int
@@ -92,6 +98,18 @@ func New(m *core.Machine, g *graph.Graph) *Framework {
 		f.inWeights = m.Alloc("edgeList.inWeights", maxInt(e, 1), 4, memsys.KindEdgeList)
 	}
 	f.scratch = m.Alloc("nGraphData", maxInt(n, 1), 8, memsys.KindNGraphData)
+
+	// Register framework-level probes on the machine's registry. The
+	// registry replaces on re-registration (latest wins), so binding a
+	// new framework to a machine re-points the gauges instead of
+	// duplicating them.
+	reg := m.Metrics()
+	reg.RegisterGauge("ligra", "frontier_size", "", func() uint64 { return f.frontierSize })
+	reg.RegisterCounter("ligra", "dense_maps", "", func() uint64 { return uint64(f.DenseMaps) })
+	reg.RegisterCounter("ligra", "sparse_maps", "", func() uint64 { return uint64(f.SparseMaps) })
+	reg.RegisterCounter("ligra", "dense_edges", "", func() uint64 { return f.DenseEdges })
+	reg.RegisterCounter("ligra", "sparse_edges", "", func() uint64 { return f.SparseEdges })
+	reg.RegisterGauge("ligra", "resident", "", func() uint64 { return uint64(f.resident) })
 	return f
 }
 

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"omega/internal/memsys"
+	"omega/internal/stats"
+)
+
+// AccessAgg aggregates a per-access event stream into dense
+// (kind × level) count/latency cells plus a per-kind latency histogram —
+// the standard reduction behind trace summaries and ad-hoc studies.
+// Indexing dense enum arrays keeps Observe allocation-free after the
+// first access of each kind.
+type AccessAgg struct {
+	cells [memsys.NumKinds][memsys.NumLevels]AggCell
+	hist  [memsys.NumKinds]*stats.Histogram
+}
+
+// AggCell is one (kind, level) aggregate.
+type AggCell struct {
+	// Count is the number of accesses served.
+	Count uint64
+	// Latency is the summed completion latency in cycles.
+	Latency uint64
+}
+
+// AvgLatency returns Latency/Count, or 0 when empty.
+func (c AggCell) AvgLatency() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return float64(c.Latency) / float64(c.Count)
+}
+
+// Observe folds one access into the aggregate.
+func (g *AccessAgg) Observe(a memsys.Access, r memsys.Result) {
+	c := &g.cells[a.Kind][r.Level]
+	c.Count++
+	c.Latency += uint64(r.Latency)
+	h := g.hist[a.Kind]
+	if h == nil {
+		h = stats.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+		g.hist[a.Kind] = h
+	}
+	h.Observe(uint64(r.Latency))
+}
+
+// Cell reads one (kind, level) aggregate.
+func (g *AccessAgg) Cell(k memsys.Kind, l memsys.Level) AggCell {
+	return g.cells[k][l]
+}
+
+// Quantile returns the q-quantile latency estimate for one access kind
+// (0 when the kind was never observed).
+func (g *AccessAgg) Quantile(k memsys.Kind, q float64) uint64 {
+	h := g.hist[k]
+	if h == nil {
+		return 0
+	}
+	return h.Quantile(q)
+}
+
+// HistSnapshot reads one kind's latency histogram (empty when the kind
+// was never observed).
+func (g *AccessAgg) HistSnapshot(k memsys.Kind) HistSnapshot {
+	h := g.hist[k]
+	if h == nil {
+		return HistSnapshot{}
+	}
+	bounds, counts := h.Buckets()
+	return HistSnapshot{Bounds: bounds, Counts: counts}
+}

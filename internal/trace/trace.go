@@ -11,7 +11,7 @@ import (
 	"sort"
 
 	"omega/internal/memsys"
-	"omega/internal/stats"
+	"omega/internal/obs"
 )
 
 // Event is one recorded access.
@@ -33,22 +33,18 @@ type Event struct {
 }
 
 // Collector accumulates events in memory (bounded) and aggregates
-// per-(kind, level) statistics unboundedly. It implements core.Tracer.
-// Aggregation indexes dense (Kind, Level) enum arrays, so recording an
-// access allocates nothing once the event buffer is full.
+// per-(kind, level) statistics unboundedly. It is an obs.AccessSink:
+// attach it with Machine.AttachSink to receive the per-access firehose.
+// Aggregation delegates to obs.AccessAgg's dense (Kind, Level) enum
+// arrays, so recording an access allocates nothing once the event buffer
+// is full.
 type Collector struct {
 	// MaxEvents bounds the retained raw events (0 = keep none, aggregate
 	// only).
 	MaxEvents int
 
 	events []Event
-	agg    [memsys.NumKinds][memsys.NumLevels]aggVal
-	hist   [memsys.NumKinds]*stats.Histogram
-}
-
-type aggVal struct {
-	count   uint64
-	latency uint64
+	agg    obs.AccessAgg
 }
 
 // NewCollector builds a collector retaining up to maxEvents raw events.
@@ -56,7 +52,18 @@ func NewCollector(maxEvents int) *Collector {
 	return &Collector{MaxEvents: maxEvents}
 }
 
-// Record implements the machine's tracer hook.
+// Sample implements obs.Sink. Iteration-boundary samples are dropped:
+// the collector consumes the access stream only, and composes with a
+// series emitter via obs.Tee when both are wanted.
+func (c *Collector) Sample(obs.MetricSample) {}
+
+// Access implements obs.AccessSink by recording the access.
+func (c *Collector) Access(now memsys.Cycles, a memsys.Access, r memsys.Result) {
+	c.Record(now, a, r)
+}
+
+// Record folds one access into the trace (the Access hook's
+// implementation, callable directly by tests and replay tooling).
 func (c *Collector) Record(now memsys.Cycles, a memsys.Access, r memsys.Result) {
 	if len(c.events) < c.MaxEvents {
 		c.events = append(c.events, Event{
@@ -65,15 +72,7 @@ func (c *Collector) Record(now memsys.Cycles, a memsys.Access, r memsys.Result) 
 			Blocking: r.Blocking, Offloaded: r.Offloaded,
 		})
 	}
-	v := &c.agg[a.Kind][r.Level]
-	v.count++
-	v.latency += uint64(r.Latency)
-	h := c.hist[a.Kind]
-	if h == nil {
-		h = stats.NewHistogram(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
-		c.hist[a.Kind] = h
-	}
-	h.Observe(uint64(r.Latency))
+	c.agg.Observe(a, r)
 }
 
 // Events returns the retained raw events.
@@ -90,17 +89,17 @@ type Row struct {
 // Summary returns per-(kind, level) aggregates sorted by descending count.
 func (c *Collector) Summary() []Row {
 	var rows []Row
-	for kind := range c.agg {
-		for level := range c.agg[kind] {
-			v := c.agg[kind][level]
-			if v.count == 0 {
+	for kind := memsys.Kind(0); kind < memsys.NumKinds; kind++ {
+		for level := memsys.Level(0); level < memsys.NumLevels; level++ {
+			v := c.agg.Cell(kind, level)
+			if v.Count == 0 {
 				continue
 			}
 			rows = append(rows, Row{
-				Kind:       memsys.Kind(kind),
-				Level:      memsys.Level(level).String(),
-				Count:      v.count,
-				AvgLatency: float64(v.latency) / float64(v.count),
+				Kind:       kind,
+				Level:      level.String(),
+				Count:      v.Count,
+				AvgLatency: v.AvgLatency(),
 			})
 		}
 	}
@@ -119,11 +118,7 @@ func (c *Collector) Summary() []Row {
 // LatencyQuantile returns the q-quantile latency estimate for one access
 // kind (0 when the kind was never observed).
 func (c *Collector) LatencyQuantile(kind memsys.Kind, q float64) uint64 {
-	h := c.hist[kind]
-	if h == nil {
-		return 0
-	}
-	return h.Quantile(q)
+	return c.agg.Quantile(kind, q)
 }
 
 // WriteSummary renders the aggregate table.

@@ -60,7 +60,7 @@ func TestTracedSimulation(t *testing.T) {
 	_, omCfg := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, 0.2)
 	m := core.NewMachine(omCfg)
 	col := NewCollector(1000)
-	m.SetTracer(col)
+	m.AttachSink(col)
 	st := spec.Run(ligra.New(m, g))
 
 	// The trace must account for exactly the accesses the machine counted.
@@ -91,6 +91,6 @@ func TestTracerDisabledByDefault(t *testing.T) {
 	spec, _ := algorithms.ByName("PageRank")
 	_, omCfg := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, 0.2)
 	m := core.NewMachine(omCfg)
-	// No SetTracer: must simply run.
+	// No sink attached: must simply run.
 	spec.Run(ligra.New(m, g))
 }

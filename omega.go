@@ -34,6 +34,7 @@ import (
 	"omega/internal/graph/gio"
 	"omega/internal/graph/reorder"
 	"omega/internal/ligra"
+	"omega/internal/obs"
 	"omega/internal/power"
 )
 
@@ -66,7 +67,28 @@ type (
 	// DatasetCache memoizes deterministic graph construction; share one
 	// via ExperimentOptions.Datasets to amortize generation across runs.
 	DatasetCache = datasets.Cache
+
+	// Sink receives metric samples — the one instrumentation surface of
+	// the simulator. Attach one with Machine.AttachSink (or set
+	// ExperimentOptions.Metrics for harness runs) to stream per-iteration
+	// telemetry; see internal/obs for the registry model and the optional
+	// per-access / per-span extension interfaces. Prefer this over
+	// post-hoc poking at Machine.LevelProfile maps: sinks see every
+	// iteration, carry stable component × name × level addresses, and
+	// cost nothing when detached.
+	Sink = obs.Sink
+	// MetricSample is one observed metric value (component × name ×
+	// level, cumulative, emitted at iteration boundaries).
+	MetricSample = obs.MetricSample
+	// MetricsBuffer is a thread-safe in-memory Sink for programmatic
+	// consumption (NewMetricsBuffer).
+	MetricsBuffer = obs.Buffer
 )
+
+// NewMetricsBuffer returns an empty in-memory metrics sink. Attach it to
+// a Machine (or ExperimentOptions.Metrics) and read the samples back
+// with its Samples/Drain methods.
+func NewMetricsBuffer() *MetricsBuffer { return obs.NewBuffer() }
 
 // NewDatasetCache returns an empty dataset cache.
 func NewDatasetCache() *DatasetCache { return datasets.New() }
@@ -140,6 +162,18 @@ type Comparison struct {
 	Baseline, OMEGA MachineStats
 	// BaselineEnergy and OMEGAEnergy hold the Figure 21 energy models.
 	BaselineEnergy, OMEGAEnergy EnergyBreakdown
+
+	// samples holds both runs' per-iteration metric series (Series).
+	samples []MetricSample
+}
+
+// Series returns the per-iteration metric samples of both runs, sorted
+// canonically (baseline before omega by machine name, then iteration,
+// then metric address). This is the supported way to see inside a
+// comparison — per-level hit rates, NoC bytes, offloads, frontier sizes
+// per iteration — without attaching a custom Sink.
+func (c Comparison) Series() []MetricSample {
+	return append([]MetricSample(nil), c.samples...)
 }
 
 // Speedup returns OMEGA's speedup over the baseline.
@@ -172,12 +206,17 @@ func Compare(algorithm string, g *Graph, coverage float64) (Comparison, error) {
 	}
 	baseCfg, omCfg := core.ScaledPair(g.NumVertices(), spec.VtxPropBytes, coverage)
 	var c Comparison
+	buf := obs.NewBuffer()
 	mb := core.NewMachine(baseCfg)
+	mb.AttachSink(buf)
 	c.Baseline = spec.Run(ligra.New(mb, g))
 	mo := core.NewMachine(omCfg)
+	mo.AttachSink(buf)
 	c.OMEGA = spec.Run(ligra.New(mo, g))
 	c.BaselineEnergy = power.Energy(baseCfg, c.Baseline)
 	c.OMEGAEnergy = power.Energy(omCfg, c.OMEGA)
+	c.samples = buf.Drain()
+	obs.SortSamples(c.samples)
 	return c, nil
 }
 
