@@ -70,6 +70,9 @@ func run() error {
 		htmlPath = flag.String("html", "", "write a self-contained HTML report")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-experiment watchdog timeout (0 disables)")
 		serialVr = flag.Bool("serial-variants", false, "run machine variants inside each experiment sequentially (identical tables)")
+		noBatch  = flag.Bool("no-batch", false, "disable run-fold access batching on every machine (identical tables; for equivalence checks and perf A/B)")
+		runs     = flag.Int("runs", 1, "repeat the suite N times and report per-run wall times (tables print once)")
+		benchOut = flag.String("bench-json", "", "write the -runs timing report as JSON to this file")
 		campaign = flag.Bool("campaign", false, "run only the Resilience R2 fault campaign")
 		faultSd  = flag.Uint64("fault-seed", 1, "base seed for resilience fault-injection streams")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
@@ -129,6 +132,10 @@ func run() error {
 		Scale: *scale, Seed: *seed, Coverage: *coverage,
 		Parallelism: *parallel, Timeout: *timeout,
 		SerialVariants: *serialVr, FaultSeed: *faultSd,
+		SerialAccess: *noBatch,
+	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs must be at least 1")
 	}
 	if *checkMet && *metrics == "" {
 		return fmt.Errorf("-check-metrics requires -metrics")
@@ -210,7 +217,90 @@ func run() error {
 	if n := res.Failed(); n > 0 {
 		return fmt.Errorf("%d of %d experiments failed", n, len(res.Tables))
 	}
+	if *runs > 1 || *benchOut != "" {
+		// Repeat the suite for wall-time statistics. Tables were already
+		// printed (and are identical every run — the suite is
+		// deterministic); the repeats only contribute timing samples.
+		walls := []float64{res.Wall.Seconds()}
+		for r := 2; r <= *runs; r++ {
+			if ctx.Err() != nil {
+				break
+			}
+			rr := experiments.Suite(ctx, specs, opts, nil)
+			if n := rr.Failed(); n > 0 {
+				return fmt.Errorf("run %d: %d of %d experiments failed", r, n, len(rr.Tables))
+			}
+			fmt.Fprintf(os.Stderr, "run %d/%d: %v\n", r, *runs, rr.Wall.Round(time.Millisecond))
+			walls = append(walls, rr.Wall.Seconds())
+		}
+		rep := benchReport(os.Args[1:], walls)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fmt.Errorf("bench report: %w", err)
+		}
+		fmt.Printf("%s\n", data)
+		if *benchOut != "" {
+			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				return fmt.Errorf("bench report: %w", err)
+			}
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
+	}
 	return nil
+}
+
+// benchJSON is the -runs timing report, shaped like the repo's BENCH_*.json
+// records so successive PRs' measurements stay comparable.
+type benchJSON struct {
+	Command     string    `json:"command"`
+	GoVersion   string    `json:"go_version"`
+	CPU         string    `json:"cpu"`
+	RunsSeconds []float64 `json:"runs_seconds"`
+	MeanSeconds float64   `json:"mean_seconds"`
+	MinSeconds  float64   `json:"min_seconds"`
+}
+
+// benchReport assembles the timing report from the suite wall times.
+func benchReport(args []string, walls []float64) benchJSON {
+	rep := benchJSON{
+		Command:     strings.TrimSpace("omega-bench " + strings.Join(args, " ")),
+		GoVersion:   runtime.Version(),
+		CPU:         hostCPU(),
+		RunsSeconds: make([]float64, len(walls)),
+	}
+	minW := walls[0]
+	var sum float64
+	for i, w := range walls {
+		w = float64(int(w*1000+0.5)) / 1000 // millisecond precision
+		rep.RunsSeconds[i] = w
+		sum += w
+		if w < minW {
+			minW = w
+		}
+	}
+	rep.MeanSeconds = float64(int(sum/float64(len(walls))*1000+0.5)) / 1000
+	rep.MinSeconds = minW
+	return rep
+}
+
+// hostCPU describes the measurement host: the first cpuinfo model name on
+// Linux (with the logical CPU count), falling back to GOARCH.
+func hostCPU() string {
+	desc := runtime.GOARCH
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				if _, v, ok := strings.Cut(name, ":"); ok {
+					desc = strings.TrimSpace(v)
+					break
+				}
+			}
+		}
+	}
+	if n := runtime.NumCPU(); n > 1 {
+		return fmt.Sprintf("%s (%d cores)", desc, n)
+	}
+	return desc + " (1 core)"
 }
 
 // openMetricsSink creates the -metrics output file and picks the encoding

@@ -104,6 +104,14 @@ type Config struct {
 	// memoized path against the full probe.
 	DisableLineBuffer bool
 
+	// SerialAccess disables the run-fold batching of sequential streaming
+	// reads (DESIGN.md §11): every access takes the per-access path, one
+	// hierarchy consultation each. Results are bit-identical either way —
+	// the fold replays the per-access accounting exactly — so the knob
+	// exists as a kill switch (omega-bench -no-batch) and lets equivalence
+	// tests and benchmarks drive both paths on the same workload.
+	SerialAccess bool
+
 	// DisableLineBufGenCheck drops the generation tag comparison on line
 	// buffer lookups. Only fault-injection experiments set it: with the
 	// check off, an injected line-buffer corruption replays a stale memo

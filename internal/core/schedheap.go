@@ -1,6 +1,9 @@
 package core
 
-import "omega/internal/cpu"
+import (
+	"omega/internal/cpu"
+	"omega/internal/memsys"
+)
 
 // coreHeap is an indexed binary min-heap of core IDs ordered by
 // (local clock, core ID). ParallelForGrain uses it to pick the next core
@@ -14,16 +17,24 @@ import "omega/internal/cpu"
 // Only the just-run core's clock ever changes between selections (the body
 // advances no other core), so one sift-down of the root per item restores
 // the invariant.
+//
+// Clocks are cached per heap slot: sift compares index two flat arrays
+// instead of chasing h.cores[id] pointers (a host-cache miss per compare
+// in the per-item hot loop). The cache is exact — fixMin re-reads the one
+// clock that may have moved, and no other slot's clock changes while its
+// core is queued.
 type coreHeap struct {
-	cores []*cpu.Core
-	ids   []int32 // heap slots holding core IDs
-	pos   []int32 // core ID -> heap slot, -1 when not queued
+	cores  []*cpu.Core
+	ids    []int32         // heap slots holding core IDs
+	clocks []memsys.Cycles // cached Clock() of the core in each slot
+	pos    []int32         // core ID -> heap slot, -1 when not queued
 }
 
 // reset prepares the heap for a machine's cores, reusing prior storage.
 func (h *coreHeap) reset(cores []*cpu.Core) {
 	h.cores = cores
 	h.ids = h.ids[:0]
+	h.clocks = h.clocks[:0]
 	if cap(h.pos) < len(cores) {
 		h.pos = make([]int32, len(cores))
 	}
@@ -38,17 +49,17 @@ func (h *coreHeap) empty() bool { return len(h.ids) == 0 }
 // min returns the queued core with the lowest (clock, id) key.
 func (h *coreHeap) min() int { return int(h.ids[0]) }
 
-func (h *coreHeap) less(a, b int32) bool {
-	ca, cb := h.cores[a].Clock(), h.cores[b].Clock()
-	if ca != cb {
-		return ca < cb
+func (h *coreHeap) less(a, b int) bool {
+	if h.clocks[a] != h.clocks[b] {
+		return h.clocks[a] < h.clocks[b]
 	}
-	return a < b
+	return h.ids[a] < h.ids[b]
 }
 
 // push queues a core.
 func (h *coreHeap) push(id int) {
 	h.ids = append(h.ids, int32(id))
+	h.clocks = append(h.clocks, h.cores[id].Clock())
 	h.pos[id] = int32(len(h.ids) - 1)
 	h.up(len(h.ids) - 1)
 }
@@ -59,16 +70,21 @@ func (h *coreHeap) pop() {
 	h.swap(0, last)
 	h.pos[h.ids[last]] = -1
 	h.ids = h.ids[:last]
+	h.clocks = h.clocks[:last]
 	if last > 0 {
 		h.down(0)
 	}
 }
 
 // fixMin restores the invariant after the root core's clock advanced.
-func (h *coreHeap) fixMin() { h.down(0) }
+func (h *coreHeap) fixMin() {
+	h.clocks[0] = h.cores[h.ids[0]].Clock()
+	h.down(0)
+}
 
 func (h *coreHeap) swap(i, j int) {
 	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.clocks[i], h.clocks[j] = h.clocks[j], h.clocks[i]
 	h.pos[h.ids[i]] = int32(i)
 	h.pos[h.ids[j]] = int32(j)
 }
@@ -76,7 +92,7 @@ func (h *coreHeap) swap(i, j int) {
 func (h *coreHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(h.ids[i], h.ids[parent]) {
+		if !h.less(i, parent) {
 			return
 		}
 		h.swap(i, parent)
@@ -92,10 +108,10 @@ func (h *coreHeap) down(i int) {
 			return
 		}
 		child := l
-		if r := l + 1; r < n && h.less(h.ids[r], h.ids[l]) {
+		if r := l + 1; r < n && h.less(r, l) {
 			child = r
 		}
-		if !h.less(h.ids[child], h.ids[i]) {
+		if !h.less(child, i) {
 			return
 		}
 		h.swap(i, child)

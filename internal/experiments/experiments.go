@@ -49,6 +49,13 @@ type Options struct {
 	// identical either way; the switch exists for debugging and for
 	// single-CPU environments where the fan-out buys nothing.
 	SerialVariants bool
+	// SerialAccess disables run-fold access batching (DESIGN.md §11) on
+	// every machine the experiments build, forcing the per-access path
+	// for each simulated load. Results are bit-identical either way —
+	// the fold's whole contract — so the switch exists for equivalence
+	// testing and host-performance A/B measurement (omega-bench
+	// -no-batch).
+	SerialAccess bool
 	// Datasets memoizes graph construction across runners so experiments
 	// sharing a (generator, scale, seed, reorder) tuple build the graph
 	// once. Nil means every runner generates its graphs from scratch.
@@ -383,6 +390,9 @@ func machinesFor(g *graph.Graph, vtxPropBytes int, o Options) (*core.Machine, *c
 // given run label (machine name distinguishes baseline/omega within a
 // run). Neither attachment perturbs simulation results.
 func (o Options) newMachine(cfg core.Config, run string) *core.Machine {
+	if o.SerialAccess {
+		cfg.SerialAccess = true
+	}
 	m := core.NewMachine(cfg)
 	m.AttachContext(o.ctx)
 	if o.sink != nil {

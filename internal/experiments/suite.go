@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -151,7 +152,13 @@ func Suite(ctx context.Context, specs []Spec, o Options, progress func(SuiteEven
 					// a cancellation; fail fast like RunSafe would.
 					tbl = FailedTable(spec.ID, fmt.Sprintf("cancelled: %v", ctx.Err()))
 				} else {
-					tbl = RunSafe(ctx, spec, ro, o.Timeout)
+					// Label the worker (and every goroutine the runner
+					// spawns — variant fan-outs inherit the set) with the
+					// experiment ID, so CPU profiles of the suite attribute
+					// samples per experiment (go tool pprof -tagfocus).
+					pprof.Do(ctx, pprof.Labels("experiment", spec.ID), func(ctx context.Context) {
+						tbl = RunSafe(ctx, spec, ro, o.Timeout)
+					})
 				}
 				wall := time.Since(t0)
 				peak := runtime.NumGoroutine()

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"omega/internal/algorithms"
@@ -65,7 +68,12 @@ func runVariants[T any](o Options, fns ...func() T) []T {
 					panics[i] = &variantPanic{value: r, stack: string(debug.Stack())}
 				}
 			}()
-			out[i] = fn()
+			// Tag the goroutine with the variant index (the suite worker
+			// already contributes the experiment ID to the inherited label
+			// set), so suite CPU profiles split per variant.
+			pprof.Do(o.Context(), pprof.Labels("variant", strconv.Itoa(i)), func(context.Context) {
+				out[i] = fn()
+			})
 		}()
 	}
 	wg.Wait()
@@ -83,12 +91,17 @@ func runVariants[T any](o Options, fns ...func() T) []T {
 func runMachines(o Options, spec algorithms.Spec, g *graph.Graph, cfgs ...core.Config) []core.MachineStats {
 	fns := make([]func() core.MachineStats, len(cfgs))
 	for i, cfg := range cfgs {
-		fns[i] = func() core.MachineStats {
+		fns[i] = func() (st core.MachineStats) {
 			// newMachine attaches the harness context (cooperative
 			// cancellation on watchdog/SIGINT) and the metrics sink when
-			// enabled; neither perturbs results.
-			m := o.newMachine(cfg, spec.Name+"/"+g.Name)
-			return spec.Run(ligra.New(m, g))
+			// enabled; neither perturbs results. The machine-name label
+			// refines the per-variant profile tags with the config's
+			// human name (baseline/omega/ablation arm).
+			pprof.Do(o.Context(), pprof.Labels("machine", cfg.Name), func(context.Context) {
+				m := o.newMachine(cfg, spec.Name+"/"+g.Name)
+				st = spec.Run(ligra.New(m, g))
+			})
+			return st
 		}
 	}
 	return runVariants(o, fns...)

@@ -132,9 +132,9 @@ func (c *Cache) locate(a memsys.Addr) (set uint64, base int, key uint64) {
 // -1. It is the single probe loop behind Lookup, Access, Invalidate, and
 // Pin.
 func (c *Cache) findIdx(base int, key uint64) int {
-	for i := base; i < base+c.ways; i++ {
-		if c.tagp[i] == key {
-			return i
+	for i, t := range c.tagp[base : base+c.ways] {
+		if t == key {
+			return base + i
 		}
 	}
 	return -1
@@ -193,6 +193,56 @@ func (c *Cache) FillStream(a memsys.Addr, dirty bool) (victim EvictedLine, evict
 		c.hotIdx = idx
 	}
 	return victim, evicted
+}
+
+// HotWay returns the way index (into the flat way arrays) of the
+// same-line memo when it is armed for the line containing a, and -1
+// otherwise. Callers batching same-line reads use it to learn which way a
+// SameLineReadHit would stamp, so the stamps can be applied in bulk later
+// (FoldReadHits/SetLastUse).
+func (c *Cache) HotWay(a memsys.Addr) int {
+	if c.hotIdx >= 0 && memsys.LineAddr(a) == c.hotLine {
+		return c.hotIdx
+	}
+	return -1
+}
+
+// PresentAt reports whether way index idx currently holds the line
+// containing a. It is the validation step of the run-fold batching path:
+// a cached (line, way) pair from an earlier probe is only trusted when the
+// tag still matches, so any eviction or invalidation since simply fails
+// the check and the caller falls back to a full probe. idx may be stale
+// or from another cache of identical geometry; an out-of-set idx can
+// never match (the set's key is unique to it), but is range-checked
+// against the line's own set anyway so a wild index cannot read a
+// coincidentally equal tag from a different set.
+func (c *Cache) PresentAt(idx int, a memsys.Addr) bool {
+	_, base, key := c.locate(a)
+	return idx >= base && idx < base+c.ways && c.tagp[idx] == key
+}
+
+// FoldReadHits applies the accounting of n same-line read hits in one
+// step — n use-clock ticks and n read hits, exactly what n calls of
+// SameLineReadHit (or hitting AccessStreamRead probes) would record — and
+// returns the use clock after the fold, from which the caller back-computes
+// the LRU stamps each folded hit would have left (SetLastUse).
+func (c *Cache) FoldReadHits(n uint64) uint64 {
+	c.useClock += n
+	c.Reads.AddHits(n)
+	return c.useClock
+}
+
+// SetLastUse stamps the LRU clock of way idx, completing a fold: the
+// stamp must be the use-clock value the last replayed hit of that way
+// would have observed.
+func (c *Cache) SetLastUse(idx int, use uint64) { c.lastUse[idx] = use }
+
+// ArmHot re-seeds the same-line memo with a (line, way) pair the caller
+// has validated via PresentAt — the state a hitting AccessStreamRead of
+// that line would have left. It touches no counters and no generation.
+func (c *Cache) ArmHot(a memsys.Addr, idx int) {
+	c.hotLine = memsys.LineAddr(a)
+	c.hotIdx = idx
 }
 
 // EvictedLine describes a victim produced by a fill.
@@ -267,30 +317,36 @@ func (c *Cache) fill(a memsys.Addr, dirty bool) (victim EvictedLine, evicted boo
 	set, base, key := c.locate(a)
 	c.useClock++
 	pinned := c.pinMask[set]
+	// Subslice the way arrays once so the scan indexes bounds-check-free;
+	// this loop dominates the simulator's profile (every L2 fill plus every
+	// pollution fill runs it).
+	tags := c.tagp[base : base+c.ways]
+	uses := c.lastUse[base : base+c.ways]
 	victimIdx := -1
 	haveInvalid := false
-	for i := base; i < base+c.ways; i++ {
-		t := c.tagp[i]
+	var victimUse uint64
+	for i, t := range tags {
 		if t == 0 {
 			if !haveInvalid {
-				victimIdx = i
+				victimIdx = base + i
 				haveInvalid = true
 			}
 			continue
 		}
 		if t == key {
 			// Already present (e.g. refilled by a racing path): refresh.
-			c.lastUse[i] = c.useClock
+			c.lastUse[base+i] = c.useClock
 			if dirty {
-				c.flags[i] |= flagDirty
+				c.flags[base+i] |= flagDirty
 			}
-			return EvictedLine{}, false, i
+			return EvictedLine{}, false, base + i
 		}
-		if haveInvalid || pinned>>uint(i-base)&1 != 0 {
+		if haveInvalid || pinned>>uint(i)&1 != 0 {
 			continue
 		}
-		if victimIdx == -1 || c.lastUse[i] < c.lastUse[victimIdx] {
-			victimIdx = i
+		if victimIdx == -1 || uses[i] < victimUse {
+			victimIdx = base + i
+			victimUse = uses[i]
 		}
 	}
 	// A fully pinned set rejects the fill (the caller treats the access

@@ -50,14 +50,19 @@ func (q *Queue) Enqueue(now, service Cycles) (wait Cycles) {
 	u := q.util
 	// Fold in the current (incomplete) window once it has enough span to
 	// be meaningful, so saturation within a window is felt immediately.
-	if span := float64(q.horizon - q.windowStart); span >= queueWindow/4 {
-		cur := float64(q.work) / span
+	if sp := q.horizon - q.windowStart; sp >= queueWindow/4 {
+		cur := float64(q.work) / float64(sp)
 		if cur > 1 {
 			cur = 1
 		}
 		if cur > u {
 			u = cur
 		}
+	}
+	if u == 0 {
+		// Idle resource: the delay formula is exactly zero, skip the
+		// floating-point work (this is the common case off saturation).
+		return 0
 	}
 	if u > maxUtil {
 		u = maxUtil
