@@ -4,7 +4,12 @@
 //
 // The suite runs on a bounded worker pool (-parallel, default GOMAXPROCS)
 // over a shared deterministic dataset cache, so independent experiments
-// overlap while graphs common to several runners are generated once.
+// overlap while graphs common to several runners are generated once. A
+// cross-experiment simulation-cell cache (DESIGN.md §12) additionally
+// dedups identical (machine config, dataset, workload) simulations
+// across experiments — disable with -no-cell-cache, inspect with
+// -cell-stats. With -sched-hints, per-experiment wall times from the
+// previous run schedule the pool longest-job-first.
 // Output ordering is unchanged from the sequential harness: tables are
 // flushed in registry order as soon as every earlier experiment has
 // finished, and live per-experiment progress goes to stderr.
@@ -26,6 +31,10 @@
 //	omega-bench -timeout 2m         # per-experiment watchdog
 //	omega-bench -metrics out.jsonl  # stream per-iteration metric samples
 //	omega-bench -json suite.json    # machine-readable suite summary
+//	omega-bench -no-cell-cache      # re-simulate every cell (perf A/B)
+//	omega-bench -cell-stats         # cell-cache hit/dedup breakdown
+//	omega-bench -compare old.json   # min/mean deltas vs a prior bench JSON
+//	omega-bench -sched-hints h.json # longest-job-first suite scheduling
 //	omega-bench -cpuprofile cpu.out # profile the suite (go tool pprof)
 //	omega-bench -memprofile mem.out # end-of-suite heap profile
 package main
@@ -40,6 +49,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -73,6 +83,10 @@ func run() error {
 		noBatch  = flag.Bool("no-batch", false, "disable run-fold access batching on every machine (identical tables; for equivalence checks and perf A/B)")
 		runs     = flag.Int("runs", 1, "repeat the suite N times and report per-run wall times (tables print once)")
 		benchOut = flag.String("bench-json", "", "write the -runs timing report as JSON to this file")
+		compare  = flag.String("compare", "", "compare the timing report against a previous bench JSON file")
+		noCells  = flag.Bool("no-cell-cache", false, "disable the cross-experiment simulation-cell cache (identical tables; for equivalence checks and perf A/B)")
+		cellStat = flag.Bool("cell-stats", false, "print a detailed cell-cache report after the suite")
+		hintPath = flag.String("sched-hints", "", "JSON file of per-experiment wall-time hints for longest-job-first scheduling (read if present, rewritten after the run)")
 		campaign = flag.Bool("campaign", false, "run only the Resilience R2 fault campaign")
 		faultSd  = flag.Uint64("fault-seed", 1, "base seed for resilience fault-injection streams")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
@@ -132,10 +146,17 @@ func run() error {
 		Scale: *scale, Seed: *seed, Coverage: *coverage,
 		Parallelism: *parallel, Timeout: *timeout,
 		SerialVariants: *serialVr, FaultSeed: *faultSd,
-		SerialAccess: *noBatch,
+		SerialAccess: *noBatch, NoCellCache: *noCells,
 	}
 	if *runs < 1 {
 		return fmt.Errorf("-runs must be at least 1")
+	}
+	if *hintPath != "" {
+		hints, err := readSchedHints(*hintPath)
+		if err != nil {
+			return err
+		}
+		opts.SchedHints = hints
 	}
 	if *checkMet && *metrics == "" {
 		return fmt.Errorf("-check-metrics requires -metrics")
@@ -187,6 +208,9 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "interrupted; results collected before cancellation were emitted\n")
 	}
 	fmt.Println(res.Summary.Format())
+	if *cellStat {
+		printCellStats(res.Cells)
+	}
 	if metricsFlush != nil {
 		if err := metricsFlush(); err != nil {
 			return fmt.Errorf("metrics: %w", err)
@@ -217,10 +241,13 @@ func run() error {
 	if n := res.Failed(); n > 0 {
 		return fmt.Errorf("%d of %d experiments failed", n, len(res.Tables))
 	}
-	if *runs > 1 || *benchOut != "" {
+	if *runs > 1 || *benchOut != "" || *compare != "" {
 		// Repeat the suite for wall-time statistics. Tables were already
 		// printed (and are identical every run — the suite is
-		// deterministic); the repeats only contribute timing samples.
+		// deterministic); the repeats only contribute timing samples. Each
+		// repeat keeps the exact options of the first run — in particular
+		// Cells stays nil so every Suite call installs a fresh cell cache,
+		// making the repeat walls honest, independent samples.
 		walls := []float64{res.Wall.Seconds()}
 		for r := 2; r <= *runs; r++ {
 			if ctx.Err() != nil {
@@ -245,8 +272,109 @@ func run() error {
 			}
 			fmt.Printf("wrote %s\n", *benchOut)
 		}
+		if *compare != "" {
+			if err := printComparison(*compare, rep); err != nil {
+				return err
+			}
+		}
+	}
+	if *hintPath != "" {
+		if err := writeSchedHints(*hintPath, res.CostHints()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *hintPath)
 	}
 	return nil
+}
+
+// printCellStats renders the -cell-stats report: totals, duplicate-cell
+// rate, and the counted reasons cells bypassed the cache.
+func printCellStats(cells *experiments.CellCache) {
+	if cells == nil {
+		fmt.Println("cell cache: disabled (-no-cell-cache)")
+		return
+	}
+	cs := cells.Stats()
+	total := cs.Hits + cs.Misses + cs.Dedups
+	fmt.Printf("cell cache: %d cacheable cells requested\n", total)
+	fmt.Printf("  built:               %d\n", cs.Misses)
+	fmt.Printf("  replayed from cache: %d\n", cs.Hits)
+	fmt.Printf("  singleflight-shared: %d\n", cs.Dedups)
+	fmt.Printf("  resident:            %d\n", cs.Resident)
+	fmt.Printf("  duplicate-cell rate: %.1f%%\n", 100*cs.DuplicateRate())
+	if len(cs.Uncacheable) > 0 {
+		var reasons []string
+		for r := range cs.Uncacheable {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		fmt.Println("  uncacheable (ran direct):")
+		for _, r := range reasons {
+			fmt.Printf("    %-10s %d\n", r, cs.Uncacheable[r])
+		}
+	}
+}
+
+// printComparison reads a previous bench JSON and prints min/mean deltas
+// against the current report (negative percentages are speedups).
+func printComparison(path string, cur benchJSON) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var old benchJSON
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("compare: %s: %w", path, err)
+	}
+	if old.MinSeconds == 0 || old.MeanSeconds == 0 {
+		return fmt.Errorf("compare: %s: not a bench report (missing min/mean seconds)", path)
+	}
+	delta := func(oldV, newV float64) string {
+		return fmt.Sprintf("%.3fs -> %.3fs (%+.1f%%)", oldV, newV, 100*(newV-oldV)/oldV)
+	}
+	fmt.Printf("vs %s (%d runs there, %d here):\n", path, len(old.RunsSeconds), len(cur.RunsSeconds))
+	fmt.Printf("  min:  %s\n", delta(old.MinSeconds, cur.MinSeconds))
+	fmt.Printf("  mean: %s\n", delta(old.MeanSeconds, cur.MeanSeconds))
+	if old.Command != cur.Command {
+		fmt.Printf("  note: commands differ (%q vs %q)\n", old.Command, cur.Command)
+	}
+	return nil
+}
+
+// readSchedHints loads the -sched-hints file: a JSON object mapping
+// experiment IDs to wall-time milliseconds. A missing file is not an
+// error (first run bootstraps it).
+func readSchedHints(path string) (map[string]time.Duration, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sched-hints: %w", err)
+	}
+	var ms map[string]int64
+	if err := json.Unmarshal(data, &ms); err != nil {
+		return nil, fmt.Errorf("sched-hints: %s: %w", path, err)
+	}
+	hints := make(map[string]time.Duration, len(ms))
+	for id, m := range ms {
+		hints[id] = time.Duration(m) * time.Millisecond
+	}
+	return hints, nil
+}
+
+// writeSchedHints persists this run's per-experiment wall times so the
+// next invocation can schedule longest-job-first.
+func writeSchedHints(path string, hints map[string]time.Duration) error {
+	ms := make(map[string]int64, len(hints))
+	for id, d := range hints {
+		ms[id] = d.Milliseconds()
+	}
+	data, err := json.MarshalIndent(ms, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sched-hints: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // benchJSON is the -runs timing report, shaped like the repo's BENCH_*.json
@@ -268,13 +396,12 @@ func benchReport(args []string, walls []float64) benchJSON {
 		CPU:         hostCPU(),
 		RunsSeconds: make([]float64, len(walls)),
 	}
-	minW := walls[0]
-	var sum float64
+	var minW, sum float64
 	for i, w := range walls {
 		w = float64(int(w*1000+0.5)) / 1000 // millisecond precision
 		rep.RunsSeconds[i] = w
 		sum += w
-		if w < minW {
+		if i == 0 || w < minW {
 			minW = w
 		}
 	}
@@ -369,6 +496,8 @@ type suiteJSONEntry struct {
 	WallMS      int64  `json:"wall_ms"`
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	Cells       uint64 `json:"cells"`
+	CellHits    uint64 `json:"cell_hits"`
 	Goroutines  int    `json:"peak_goroutines"`
 	Rows        int    `json:"rows"`
 	Failed      bool   `json:"failed"`
@@ -394,6 +523,7 @@ func writeSuiteJSON(path string, opts experiments.Options, res *experiments.Suit
 		out.Experiments[i] = suiteJSONEntry{
 			ID: te.ID, WallMS: te.Wall.Milliseconds(),
 			CacheHits: te.CacheHits, CacheMisses: te.CacheMisses,
+			Cells: te.Cells, CellHits: te.CellHits,
 			Goroutines: te.Goroutines, Rows: rows, Failed: te.Failed,
 		}
 	}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// CanonicalKey renders the configuration as a deterministic,
+// self-describing string suitable as (part of) a cache key: equal
+// configurations produce equal strings, and any field difference —
+// including nested cpu/DRAM/fault configuration and the fault seed —
+// produces different strings. The encoding walks struct fields in
+// declaration order and writes name=value pairs, so it needs no schema
+// version: adding a field to Config changes every key, which safely
+// invalidates nothing (keys are process-lifetime only).
+//
+// Only scalar field kinds (bool, integers, floats, strings) and nested
+// structs of scalars are encodable. A pointer, slice, map, func, or
+// interface field would make two configs compare equal while behaving
+// differently, so CanonicalKey panics on such kinds — the test suite
+// runs it against every stock config to keep Config canonicalizable as
+// it grows.
+func (c Config) CanonicalKey() string {
+	var b strings.Builder
+	b.Grow(1 << 10)
+	canonicalValue(&b, reflect.ValueOf(c))
+	return b.String()
+}
+
+// canonicalValue appends one value's canonical encoding.
+func canonicalValue(b *strings.Builder, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		b.WriteByte('{')
+		for i := 0; i < v.NumField(); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(t.Field(i).Name)
+			b.WriteByte('=')
+			canonicalValue(b, v.Field(i))
+		}
+		b.WriteByte('}')
+	case reflect.Bool:
+		b.WriteString(strconv.FormatBool(v.Bool()))
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		b.WriteString(strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		b.WriteString(strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32, reflect.Float64:
+		// 'g'/-1 is the shortest representation that round-trips, so two
+		// equal floats always encode identically.
+		b.WriteString(strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case reflect.String:
+		b.WriteString(strconv.Quote(v.String()))
+	default:
+		panic(fmt.Sprintf(
+			"core: %s field of kind %s is not canonicalizable — Config must stay a pure value type",
+			v.Type(), v.Kind()))
+	}
+}

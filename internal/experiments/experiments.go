@@ -60,6 +60,26 @@ type Options struct {
 	// sharing a (generator, scale, seed, reorder) tuple build the graph
 	// once. Nil means every runner generates its graphs from scratch.
 	Datasets *datasets.Cache
+	// Cells memoizes complete simulation cells — (machine config,
+	// dataset, workload) triples — across runners, the dataset cache's
+	// idea lifted to whole machine simulations (DESIGN.md §12). The
+	// simulator is deterministic, so a cached cell's stats and metric
+	// stream are exactly what a fresh run would produce. Nil disables
+	// cell caching; Suite installs a fresh cache unless NoCellCache is
+	// set.
+	Cells *CellCache
+	// NoCellCache keeps Suite from installing (or using) a cell cache —
+	// the kill switch behind omega-bench -no-cell-cache. Tables are
+	// identical either way; the switch exists for equivalence checks and
+	// honest perf A/B measurement.
+	NoCellCache bool
+	// SchedHints, when non-empty, lets Suite dispatch experiments
+	// longest-expected-first (keyed by spec ID, e.g. a prior run's
+	// telemetry via SuiteResult.CostHints) so one late-scheduled heavy
+	// experiment cannot serialize the pool's tail. Experiments without a
+	// hint dispatch first in declaration order; result order is
+	// unaffected either way.
+	SchedHints map[string]time.Duration
 	// Metrics, when set, receives the per-iteration metric samples of
 	// every machine the experiments build, stamped with the experiment ID
 	// and a run label (dataset or algorithm/dataset). Samples arrive
@@ -71,6 +91,10 @@ type Options struct {
 	// cacheStats, when set by Suite, receives this run's dataset-cache
 	// hit/miss counts so telemetry can attribute them per experiment.
 	cacheStats *datasets.Counters
+	// cellStats, when set by Suite, receives this run's cell counts
+	// (cell-routed simulations and cache hits) for per-experiment
+	// telemetry.
+	cellStats *cellCounters
 	// ctx, when set by RunSafe, is the harness's cancellation context:
 	// runners attach it to the machines they build so watchdog timeouts
 	// and SIGINT cancel in-flight simulations cooperatively instead of
@@ -331,10 +355,27 @@ func DatasetByName(name string) (Dataset, bool) {
 	return Dataset{}, false
 }
 
-// prepared bundles a generated, in-degree-reordered graph.
+// prepared bundles a generated, in-degree-reordered graph together with
+// the dataset key that identifies its build — the graph half of a cell
+// cache key. keyed is false for graphs the cache cannot identify
+// (transformed, grown, or hand-built), which makes their cells
+// uncacheable.
 type prepared struct {
-	ds Dataset
-	g  *graph.Graph
+	ds    Dataset
+	g     *graph.Graph
+	key   datasets.Key
+	keyed bool
+}
+
+// datasetKey is the cache identity of one dataset build.
+func datasetKey(ds Dataset, o Options, weighted, reordered bool) datasets.Key {
+	return datasets.Key{
+		Kind:      ds.Name,
+		Scale:     o.Scale,
+		Seed:      o.Seed,
+		Weighted:  weighted,
+		Reordered: reordered,
+	}
 }
 
 // buildDataset generates one dataset variant, drawing from o.Datasets
@@ -354,13 +395,7 @@ func buildDataset(ds Dataset, o Options, weighted, reordered bool) *graph.Graph 
 	if o.Datasets == nil {
 		return build()
 	}
-	g, hit := o.Datasets.GetOrBuild(datasets.Key{
-		Kind:      ds.Name,
-		Scale:     o.Scale,
-		Seed:      o.Seed,
-		Weighted:  weighted,
-		Reordered: reordered,
-	}, build)
+	g, hit := o.Datasets.GetOrBuild(datasetKey(ds, o, weighted, reordered), build)
 	o.cacheStats.Record(hit)
 	return g
 }
@@ -368,7 +403,12 @@ func buildDataset(ds Dataset, o Options, weighted, reordered bool) *graph.Graph 
 // prepareDataset builds and reorders a dataset (§VI: OMEGA's static
 // placement relies on in-degree ordering).
 func prepareDataset(ds Dataset, o Options, weighted bool) prepared {
-	return prepared{ds: ds, g: buildDataset(ds, o, weighted, true)}
+	return prepared{
+		ds:    ds,
+		g:     buildDataset(ds, o, weighted, true),
+		key:   datasetKey(ds, o, weighted, true),
+		keyed: true,
+	}
 }
 
 // rawDataset builds a dataset without the in-degree reordering — for

@@ -69,6 +69,16 @@ func CampaignFor(o Options) resilience.Campaign {
 func RunResilienceCampaign(o Options) *Table {
 	o = o.Defaults()
 	camp := CampaignFor(o)
+	// Campaign runs never route through the cell cache: every injected run
+	// perturbs the machine, and the golden run feeds the engine's internal
+	// checkpoint, so none of them are reusable cells. Count them so the
+	// suite's cache report stays honest about what was skipped (the golden
+	// run plus one first-attempt per site × rate × seed; recovery
+	// re-executions are demand-driven and not counted here).
+	if o.Cells != nil {
+		o.Cells.noteUncacheable(UncacheableCampaign,
+			uint64(1+len(camp.Sites)*len(camp.Rates)*len(camp.Seeds)))
+	}
 	rep, err := camp.Run()
 	if err != nil {
 		return FailedTable("Resilience R2", err.Error())

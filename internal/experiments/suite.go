@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"sync"
 	"time"
 
@@ -40,6 +41,10 @@ type ExperimentTelemetry struct {
 	// lookups (a hit includes blocking on another runner's in-flight
 	// build — the generation work was shared either way).
 	CacheHits, CacheMisses uint64
+	// Cells counts the complete simulation cells this experiment asked
+	// for, and CellHits how many were satisfied from the cross-experiment
+	// cell cache (including singleflight shares) instead of simulated.
+	Cells, CellHits uint64
 	// Goroutines is the peak goroutine count observed at the experiment's
 	// start/end sample points — a coarse load indicator for the pool.
 	Goroutines int
@@ -62,6 +67,20 @@ type SuiteResult struct {
 	Wall time.Duration
 	// Parallelism is the resolved worker-pool size.
 	Parallelism int
+	// Cells is the simulation-cell cache the suite ran with (nil when the
+	// cache was disabled via Options.NoCellCache).
+	Cells *CellCache
+}
+
+// CostHints extracts per-experiment wall-clock telemetry in the shape
+// Options.SchedHints consumes, so one suite run's timings can schedule
+// the next (longest-job-first).
+func (r *SuiteResult) CostHints() map[string]time.Duration {
+	h := make(map[string]time.Duration, len(r.Telemetry))
+	for _, te := range r.Telemetry {
+		h[te.ID] = te.Wall
+	}
+	return h
 }
 
 // Failed counts failed tables.
@@ -105,6 +124,11 @@ func Suite(ctx context.Context, specs []Spec, o Options, progress func(SuiteEven
 	if o.Datasets == nil {
 		o.Datasets = datasets.New()
 	}
+	if o.NoCellCache {
+		o.Cells = nil
+	} else if o.Cells == nil {
+		o.Cells = NewCellCache()
+	}
 	// Under parallelism, experiments finish in nondeterministic order, so
 	// each spec's samples land in a private buffer; after the pool drains
 	// they are flushed to the user's sink in spec order. RunSafe already
@@ -123,9 +147,14 @@ func Suite(ctx context.Context, specs []Spec, o Options, progress func(SuiteEven
 		Tables:      make([]*Table, len(specs)),
 		Telemetry:   make([]ExperimentTelemetry, len(specs)),
 		Parallelism: par,
+		Cells:       o.Cells,
 	}
+	// Dispatch longest-job-first when cost hints are available: starting
+	// the expensive experiments early shrinks the pool's makespan (a long
+	// job queued last would run alone after everything else drained).
+	// Results and telemetry stay in spec order regardless.
 	jobs := make(chan int, len(specs))
-	for i := range specs {
+	for _, i := range dispatchOrder(specs, o.SchedHints) {
 		jobs <- i
 	}
 	close(jobs)
@@ -141,6 +170,8 @@ func Suite(ctx context.Context, specs []Spec, o Options, progress func(SuiteEven
 				ro := o
 				rec := &datasets.Counters{}
 				ro.cacheStats = rec
+				cc := &cellCounters{}
+				ro.cellStats = cc
 				if specBufs != nil {
 					ro.Metrics = specBufs[i]
 				}
@@ -171,6 +202,8 @@ func Suite(ctx context.Context, specs []Spec, o Options, progress func(SuiteEven
 					Wall:        wall,
 					CacheHits:   rec.Hits.Load(),
 					CacheMisses: rec.Misses.Load(),
+					Cells:       cc.cells.Load(),
+					CellHits:    cc.hits.Load(),
 					Goroutines:  peak,
 					Failed:      tbl.Failed,
 				}
@@ -194,17 +227,49 @@ func Suite(ctx context.Context, specs []Spec, o Options, progress func(SuiteEven
 		}
 	}
 	res.Wall = time.Since(start)
-	res.Summary = suiteSummary(res, o.Datasets)
+	res.Summary = suiteSummary(res, o.Datasets, o.Cells)
 	return res
 }
 
+// dispatchOrder returns the spec indices in dispatch order: specs with a
+// cost hint sorted by descending hinted wall time (longest-processing-
+// time-first), preceded by unhinted specs in declaration order (an
+// unknown cost is dispatched early rather than risked last). The sort is
+// stable, so equal hints keep declaration order and the order is
+// deterministic for a given hint map.
+func dispatchOrder(specs []Spec, hints map[string]time.Duration) []int {
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	if len(hints) == 0 {
+		return order
+	}
+	hinted := func(i int) bool { _, ok := hints[specs[i].ID]; return ok }
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		ha, hb := hinted(ia), hinted(ib)
+		if ha != hb {
+			return !ha // unhinted first, in declaration order
+		}
+		if !ha {
+			return ia < ib
+		}
+		if hints[specs[ia].ID] != hints[specs[ib].ID] {
+			return hints[specs[ia].ID] > hints[specs[ib].ID]
+		}
+		return ia < ib
+	})
+	return order
+}
+
 // suiteSummary renders the telemetry as a printable table.
-func suiteSummary(res *SuiteResult, cache *datasets.Cache) *Table {
+func suiteSummary(res *SuiteResult, cache *datasets.Cache, cells *CellCache) *Table {
 	t := &Table{
 		ID:    "Suite",
 		Title: fmt.Sprintf("suite telemetry (parallelism %d)", res.Parallelism),
 		Header: []string{"experiment", "wall", "cache hits", "cache misses",
-			"peak goroutines", "status"},
+			"cells", "cell hits", "peak goroutines", "status"},
 	}
 	for _, te := range res.Telemetry {
 		status := "ok"
@@ -212,11 +277,17 @@ func suiteSummary(res *SuiteResult, cache *datasets.Cache) *Table {
 			status = "FAILED"
 		}
 		t.AddRow(te.ID, te.Wall.Round(time.Millisecond), te.CacheHits,
-			te.CacheMisses, te.Goroutines, status)
+			te.CacheMisses, te.Cells, te.CellHits, te.Goroutines, status)
 	}
 	hits, misses := cache.Stats()
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("suite wall %v over %d workers; dataset cache: %d hits / %d misses, %d graphs resident",
 			res.Wall.Round(time.Millisecond), res.Parallelism, hits, misses, cache.Len()))
+	if cells != nil {
+		cs := cells.Stats()
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("cell cache: %d hits / %d misses (%d singleflight-shared), %d cells resident%s",
+				cs.Hits, cs.Misses, cs.Dedups, cs.Resident, cs.uncacheableNote()))
+	}
 	return t
 }

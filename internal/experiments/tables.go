@@ -6,7 +6,6 @@ import (
 	"omega/internal/algorithms"
 	"omega/internal/core"
 	"omega/internal/graph"
-	"omega/internal/ligra"
 	"omega/internal/power"
 )
 
@@ -75,8 +74,8 @@ func Table2(o Options) *Table {
 			p = dirW
 		}
 		fns[i] = func() core.MachineStats {
-			_, om := machinesFor(p.g, spec.VtxPropBytes, o)
-			return spec.Run(ligra.New(om, p.g))
+			_, omCfg := core.ScaledPair(p.g.NumVertices(), spec.VtxPropBytes, o.Coverage)
+			return runCell(o, spec, p, omCfg, p.g.Name)
 		}
 	}
 	for i, st := range runVariants(o, fns...) {

@@ -10,8 +10,6 @@ import (
 
 	"omega/internal/algorithms"
 	"omega/internal/core"
-	"omega/internal/graph"
-	"omega/internal/ligra"
 )
 
 // This file is the variant-concurrency layer: experiment runners that
@@ -86,22 +84,16 @@ func runVariants[T any](o Options, fns ...func() T) []T {
 }
 
 // runMachines runs one algorithm over several machine configurations —
-// one fresh Machine per variant, all sharing the immutable graph — and
-// returns the per-variant stats in configuration order.
-func runMachines(o Options, spec algorithms.Spec, g *graph.Graph, cfgs ...core.Config) []core.MachineStats {
+// one cell per variant, all sharing the immutable prepared graph — and
+// returns the per-variant stats in configuration order. Each variant
+// routes through runCell, so cells already simulated by this or any
+// other experiment are reused instead of re-simulated.
+func runMachines(o Options, spec algorithms.Spec, pr prepared, cfgs ...core.Config) []core.MachineStats {
+	run := spec.Name + "/" + pr.g.Name
 	fns := make([]func() core.MachineStats, len(cfgs))
 	for i, cfg := range cfgs {
-		fns[i] = func() (st core.MachineStats) {
-			// newMachine attaches the harness context (cooperative
-			// cancellation on watchdog/SIGINT) and the metrics sink when
-			// enabled; neither perturbs results. The machine-name label
-			// refines the per-variant profile tags with the config's
-			// human name (baseline/omega/ablation arm).
-			pprof.Do(o.Context(), pprof.Labels("machine", cfg.Name), func(context.Context) {
-				m := o.newMachine(cfg, spec.Name+"/"+g.Name)
-				st = spec.Run(ligra.New(m, g))
-			})
-			return st
+		fns[i] = func() core.MachineStats {
+			return runCell(o, spec, pr, cfg, run)
 		}
 	}
 	return runVariants(o, fns...)

@@ -34,9 +34,12 @@ type Key struct {
 	Reordered bool
 }
 
-// entry is one cache slot. once serializes the build; panicked replays a
-// failed build to every waiter so a deterministic generator bug surfaces
-// identically for all sharers instead of as a nil graph.
+// entry is one cache slot. once serializes the build; panicked replays
+// the failed build to every waiter of that attempt, so a generator bug
+// surfaces identically for all sharers instead of as a nil graph. A
+// failed entry is evicted before the panic propagates, leaving the key
+// rebuildable — a transient failure must not poison the cache for the
+// rest of the process.
 type entry struct {
 	once     sync.Once
 	g        *graph.Graph
@@ -107,6 +110,15 @@ func (c *Cache) GetOrBuild(k Key, build func() *graph.Graph) (*graph.Graph, bool
 		e.g = build()
 	})
 	if e.panicked != nil {
+		// Evict the failed slot (unless a later attempt already replaced
+		// it) so the key stays rebuildable, then propagate the failure to
+		// this caller — every goroutine that shared the attempt gets the
+		// same panic.
+		c.mu.Lock()
+		if c.entries[k] == e {
+			delete(c.entries, k)
+		}
+		c.mu.Unlock()
 		panic(e.panicked)
 	}
 	return e.g, hit

@@ -150,6 +150,79 @@ func TestPanicReplays(t *testing.T) {
 	}
 }
 
+// TestFailedBuildLeavesKeyRebuildable: a failed build must not poison
+// the slot — a later caller with a working build function succeeds.
+func TestFailedBuildLeavesKeyRebuildable(t *testing.T) {
+	c := New()
+	k := Key{Kind: "flaky", Scale: 8, Seed: 3}
+	func() {
+		defer func() {
+			if r := recover(); r != "transient failure" {
+				t.Fatalf("recovered %v, want transient failure", r)
+			}
+		}()
+		c.GetOrBuild(k, func() *graph.Graph { panic("transient failure") })
+	}()
+	if c.Len() != 0 {
+		t.Fatalf("failed entry still resident: len = %d, want 0", c.Len())
+	}
+	g, hit := c.GetOrBuild(k, func() *graph.Graph { return tinyGraph(3) })
+	if g == nil || hit {
+		t.Fatalf("rebuild after failure: graph=%v hit=%v, want non-nil miss", g, hit)
+	}
+	// The successful build is now cached normally.
+	g2, hit2 := c.GetOrBuild(k, func() *graph.Graph { t.Fatal("must not rebuild"); return nil })
+	if g2 != g || !hit2 {
+		t.Fatal("successful rebuild was not cached")
+	}
+}
+
+// TestFailedBuildPropagatesToConcurrentWaiters: every goroutine blocked
+// on an in-flight build that fails must observe the same panic, and the
+// key must afterwards be rebuildable.
+func TestFailedBuildPropagatesToConcurrentWaiters(t *testing.T) {
+	c := New()
+	k := Key{Kind: "flaky", Scale: 9, Seed: 4}
+	release := make(chan struct{})
+	var builds atomic.Int32
+	boom := func() *graph.Graph {
+		builds.Add(1)
+		<-release
+		panic("shared failure")
+	}
+	const callers = 8
+	panics := make([]any, callers)
+	var started, wg sync.WaitGroup
+	started.Add(callers)
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			defer func() { panics[i] = recover() }()
+			started.Done()
+			c.GetOrBuild(k, boom)
+		}(i)
+	}
+	started.Wait()
+	close(release)
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("build ran %d times, want 1 (waiters share the attempt)", builds.Load())
+	}
+	for i, p := range panics {
+		if p != "shared failure" {
+			t.Fatalf("caller %d recovered %v, want shared failure", i, p)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed entry still resident: len = %d, want 0", c.Len())
+	}
+	g, _ := c.GetOrBuild(k, func() *graph.Graph { return tinyGraph(4) })
+	if g == nil {
+		t.Fatal("key not rebuildable after shared failure")
+	}
+}
+
 func TestCountersNilSafe(t *testing.T) {
 	var c *Counters
 	c.Record(true) // must not panic

@@ -67,6 +67,11 @@ type (
 	// DatasetCache memoizes deterministic graph construction; share one
 	// via ExperimentOptions.Datasets to amortize generation across runs.
 	DatasetCache = datasets.Cache
+	// CellCache memoizes complete simulation cells — (machine config,
+	// dataset, workload) triples — with singleflight dedup; share one via
+	// ExperimentOptions.Cells to skip re-simulating identical cells across
+	// experiments and repeated runs.
+	CellCache = experiments.CellCache
 
 	// Sink receives metric samples — the one instrumentation surface of
 	// the simulator. Attach one with Machine.AttachSink (or set
@@ -92,6 +97,9 @@ func NewMetricsBuffer() *MetricsBuffer { return obs.NewBuffer() }
 
 // NewDatasetCache returns an empty dataset cache.
 func NewDatasetCache() *DatasetCache { return datasets.New() }
+
+// NewCellCache returns an empty simulation-cell cache.
+func NewCellCache() *CellCache { return experiments.NewCellCache() }
 
 // RMAT generates a power-law R-MAT graph with 2^scale vertices.
 func RMAT(scale int, seed uint64) *Graph {
