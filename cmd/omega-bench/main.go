@@ -37,6 +37,7 @@
 //	omega-bench -sched-hints h.json # longest-job-first suite scheduling
 //	omega-bench -cpuprofile cpu.out # profile the suite (go tool pprof)
 //	omega-bench -memprofile mem.out # end-of-suite heap profile
+//	omega-bench -trace exec.trace   # execution trace (go tool trace)
 package main
 
 import (
@@ -49,6 +50,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strings"
 	"time"
@@ -91,8 +93,21 @@ func run() error {
 		faultSd  = flag.Uint64("fault-seed", 1, "base seed for resilience fault-injection streams")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the suite to this file")
 		memProf  = flag.String("memprofile", "", "write an end-of-suite heap profile to this file")
+		traceOut = flag.String("trace", "", "write a runtime execution trace of the suite to this file (go tool trace)")
 	)
 	flag.Parse()
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer trace.Stop()
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -260,7 +275,14 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "run %d/%d: %v\n", r, *runs, rr.Wall.Round(time.Millisecond))
 			walls = append(walls, rr.Wall.Seconds())
 		}
-		rep := benchReport(os.Args[1:], walls)
+		rep := benchReport(os.Args[1:], benchConfig{
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			Parallelism:    *parallel,
+			Scale:          *scale,
+			NoBatch:        *noBatch,
+			NoCellCache:    *noCells,
+			SerialVariants: *serialVr,
+		}, walls)
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return fmt.Errorf("bench report: %w", err)
@@ -338,7 +360,45 @@ func printComparison(path string, cur benchJSON) error {
 	if old.Command != cur.Command {
 		fmt.Printf("  note: commands differ (%q vs %q)\n", old.Command, cur.Command)
 	}
+	for _, w := range compareWarnings(old, cur) {
+		fmt.Printf("  warning: %s\n", w)
+	}
 	return nil
+}
+
+// compareWarnings lists the ways two timing reports are not an
+// apples-to-apples comparison: different host or toolchain, or a config
+// block that disagrees on scheduler width or workload shape. Reports
+// written before the config block existed produce a single "no config"
+// warning instead of failing.
+func compareWarnings(old, cur benchJSON) []string {
+	var warns []string
+	if old.CPU != cur.CPU {
+		warns = append(warns, fmt.Sprintf("hosts differ (%q vs %q) — deltas reflect hardware, not code", old.CPU, cur.CPU))
+	}
+	if old.GoVersion != cur.GoVersion {
+		warns = append(warns, fmt.Sprintf("go versions differ (%s vs %s)", old.GoVersion, cur.GoVersion))
+	}
+	if old.Config == nil {
+		warns = append(warns, "previous report has no config block (older omega-bench); flag equivalence unverified")
+		return warns
+	}
+	if cur.Config == nil {
+		return warns
+	}
+	o, c := *old.Config, *cur.Config
+	diff := func(name string, ov, cv any) {
+		if ov != cv {
+			warns = append(warns, fmt.Sprintf("%s differs (%v vs %v)", name, ov, cv))
+		}
+	}
+	diff("gomaxprocs", o.GOMAXPROCS, c.GOMAXPROCS)
+	diff("parallelism", o.Parallelism, c.Parallelism)
+	diff("scale", o.Scale, c.Scale)
+	diff("no_batch", o.NoBatch, c.NoBatch)
+	diff("no_cell_cache", o.NoCellCache, c.NoCellCache)
+	diff("serial_variants", o.SerialVariants, c.SerialVariants)
+	return warns
 }
 
 // readSchedHints loads the -sched-hints file: a JSON object mapping
@@ -380,20 +440,35 @@ func writeSchedHints(path string, hints map[string]time.Duration) error {
 // benchJSON is the -runs timing report, shaped like the repo's BENCH_*.json
 // records so successive PRs' measurements stay comparable.
 type benchJSON struct {
-	Command     string    `json:"command"`
-	GoVersion   string    `json:"go_version"`
-	CPU         string    `json:"cpu"`
-	RunsSeconds []float64 `json:"runs_seconds"`
-	MeanSeconds float64   `json:"mean_seconds"`
-	MinSeconds  float64   `json:"min_seconds"`
+	Command     string       `json:"command"`
+	GoVersion   string       `json:"go_version"`
+	CPU         string       `json:"cpu"`
+	Config      *benchConfig `json:"config,omitempty"`
+	RunsSeconds []float64    `json:"runs_seconds"`
+	MeanSeconds float64      `json:"mean_seconds"`
+	MinSeconds  float64      `json:"min_seconds"`
+}
+
+// benchConfig records the measurement context that makes two timing
+// reports comparable: the host's scheduler width and every flag that
+// changes the amount or shape of work the suite does. -compare warns when
+// any of it differs.
+type benchConfig struct {
+	GOMAXPROCS     int  `json:"gomaxprocs"`
+	Parallelism    int  `json:"parallelism"`
+	Scale          int  `json:"scale"`
+	NoBatch        bool `json:"no_batch"`
+	NoCellCache    bool `json:"no_cell_cache"`
+	SerialVariants bool `json:"serial_variants"`
 }
 
 // benchReport assembles the timing report from the suite wall times.
-func benchReport(args []string, walls []float64) benchJSON {
+func benchReport(args []string, cfg benchConfig, walls []float64) benchJSON {
 	rep := benchJSON{
 		Command:     strings.TrimSpace("omega-bench " + strings.Join(args, " ")),
 		GoVersion:   runtime.Version(),
 		CPU:         hostCPU(),
+		Config:      &cfg,
 		RunsSeconds: make([]float64, len(walls)),
 	}
 	var minW, sum float64

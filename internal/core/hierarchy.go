@@ -134,13 +134,15 @@ func (p *cachePath) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
 
 	// Streaming-kind reads seed the L1's same-line memo (the fast path in
 	// Machine.fastRead); vtxProp and writes use the plain probe so point
-	// accesses do not evict a live stream memo.
+	// accesses do not evict a live stream memo. The line's L1 coordinates
+	// are resolved once and reused by the miss-side fill.
 	stream := !write && a.Kind != memsys.KindVtxProp
+	r1 := l1.Resolve(line)
 	var l1Hit bool
 	if stream {
-		l1Hit = l1.AccessStreamRead(line)
+		l1Hit = l1.AccessStreamReadAt(r1)
 	} else {
-		l1Hit = l1.Access(line, write)
+		l1Hit = l1.AccessAt(r1, write)
 	}
 
 	var lat memsys.Cycles
@@ -151,11 +153,14 @@ func (p *cachePath) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
 			// Upgrade: invalidate other sharers (single directory probe;
 			// a no-op when this core already holds the line Modified).
 			if out, upgraded := p.dir.Upgrade(line, a.Core); upgraded {
-				for i := 0; i < out.Invalidated; i++ {
-					p.noc.Send(now, a.Core, p.homeBank(line), 0, noc.ClassCtrl)
-				}
-				if atomic && out.Invalidated > 0 {
-					lat += p.cfg.InvalidationCycles
+				if out.Invalidated > 0 {
+					bank := p.homeBank(line)
+					for i := 0; i < out.Invalidated; i++ {
+						p.noc.Send(now, a.Core, bank, 0, noc.ClassCtrl)
+					}
+					if atomic {
+						lat += p.cfg.InvalidationCycles
+					}
 				}
 			}
 		}
@@ -164,8 +169,11 @@ func (p *cachePath) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
 		level = memsys.LevelL2Plus
 		// Fill L1 and handle its victim. Streaming fills seed the L1's
 		// same-line memo so the reads that follow the miss take the fast
-		// path.
-		p.fillL1(now, a.Core, line, write, stream)
+		// path. The fill reuses the probe's Ref and the known-absent
+		// contract: nothing between the missing probe above and here can
+		// have installed the line (the miss path only fills L2 and may
+		// *invalidate* L1 lines via back-invalidation).
+		p.fillL1(now, a.Core, r1, line, write, stream)
 		if p.cfg.L1Prefetch &&
 			(a.Kind == memsys.KindEdgeList || a.Kind == memsys.KindNGraphData) {
 			p.prefetchNext(now, a.Core, line)
@@ -182,6 +190,12 @@ func (p *cachePath) Access(now memsys.Cycles, a memsys.Access) memsys.Result {
 // issue to data arrival at the core.
 func (p *cachePath) miss(now memsys.Cycles, core int, line memsys.Addr, write, lowLocality bool) memsys.Cycles {
 	bank := p.homeBank(line)
+	// The bank-local address and its L2 set/way coordinates are resolved
+	// once here; every L2 operation below reuses them. A Ref is pure
+	// address arithmetic, so content mutations between uses (pollution
+	// fills, the DRAM access) do not invalidate it.
+	l2 := p.l2[bank]
+	rl2 := l2.Resolve(p.l2Local(line))
 	// Request header to the home bank.
 	lat := p.noc.Send(now, core, bank, 0, noc.ClassCtrl)
 
@@ -204,26 +218,27 @@ func (p *cachePath) miss(now memsys.Cycles, core int, line memsys.Addr, write, l
 		// stale (owner holds M), so the probe counts as a demand miss —
 		// the same accounting gem5's Ruby MESI uses — even though the
 		// transfer stays on-chip.
-		p.l2[bank].Reads.AddMisses(1)
-		p.l2[bank].Fill(p.l2Local(line), true)
+		l2.Reads.AddMisses(1)
+		l2.FillAt(rl2, true)
 		fwd := p.noc.Send(now+lat, bank, dirtyOwner, 0, noc.ClassCtrl)
 		xfer := p.noc.Send(now+lat+fwd, dirtyOwner, core, memsys.LineSize, noc.ClassLine)
 		// The owner's dirty data also refreshes the L2 bank.
 		p.noc.Send(now+lat+fwd, dirtyOwner, bank, memsys.LineSize, noc.ClassLine)
-		p.l2[bank].Fill(p.l2Local(line), true)
+		l2.FillAt(rl2, true)
 		return lat + fwd + xfer + p.l1HitLat
 	}
 
 	p.pollute(bank)
-	l2 := p.l2[bank]
-	if l2.Access(p.l2Local(line), false) {
+	if l2.AccessAt(rl2, false) {
 		// L2 hit: data line back to the requester.
 		resp := p.noc.Send(now+lat+p.cfg.L2Lat, bank, core, memsys.LineSize, noc.ClassLine)
 		return lat + p.cfg.L2Lat + resp
 	}
-	// L2 miss: DRAM access, fill L2 (inclusive), then respond.
+	// L2 miss: DRAM access, fill L2 (inclusive), then respond. The fill
+	// may take the known-absent path: the probe just missed and only the
+	// DRAM access (no cache mutation) ran in between.
 	dramLat := p.dram.AccessHint(now+lat+p.cfg.L2Lat, line, lowLocality)
-	if victim, evicted := l2.Fill(p.l2Local(line), false); evicted {
+	if victim, evicted := l2.FillMissAt(rl2, false); evicted {
 		p.evictFromL2(now, bank, victim)
 	}
 	resp := p.noc.Send(now+lat+p.cfg.L2Lat+dramLat, bank, core, memsys.LineSize, noc.ClassLine)
@@ -235,23 +250,28 @@ func (p *cachePath) miss(now memsys.Cycles, core int, line memsys.Addr, write, l
 // L2/DRAM/NoC effects (fills, traffic, bandwidth) are fully modeled.
 func (p *cachePath) prefetchNext(now memsys.Cycles, core int, line memsys.Addr) {
 	next := line + memsys.LineSize
-	if p.l1[core].Lookup(next) {
+	rn := p.l1[core].Resolve(next)
+	if p.l1[core].LookupAt(rn) {
 		return
 	}
 	p.Prefetches.Inc()
 	bank := p.homeBank(next)
 	p.noc.Send(now, core, bank, 0, noc.ClassCtrl)
 	l2 := p.l2[bank]
-	if !l2.Access(p.l2Local(next), false) {
+	rl2 := l2.Resolve(p.l2Local(next))
+	if !l2.AccessAt(rl2, false) {
 		p.dram.AccessHint(now, next, false)
-		if victim, evicted := l2.Fill(p.l2Local(next), false); evicted {
+		if victim, evicted := l2.FillMissAt(rl2, false); evicted {
 			p.evictFromL2(now, bank, victim)
 		}
 	}
 	p.noc.Send(now, bank, core, memsys.LineSize, noc.ClassLine)
 	// Prefetched lines do not seed the memo: the demand stream's memo
-	// should keep pointing at the line the core is actually reading.
-	p.fillL1(now, core, next, false, false)
+	// should keep pointing at the line the core is actually reading. The
+	// L1 fill reuses the lookup's Ref; the lookup missed and the only L1
+	// mutations since are possible back-invalidations (removals), so the
+	// known-absent contract holds.
+	p.fillL1(now, core, rn, next, false, false)
 }
 
 // pollute injects Config.LLCPollution synthetic fills per demand access
@@ -307,19 +327,26 @@ func (p *cachePath) evictFromL2(now memsys.Cycles, bank int, victim cache.Evicte
 	// outside the mask would probe-miss with zero side effects, so
 	// skipping it is unobservable. Bits are visited in ascending core
 	// order, preserving the full loop's message order.
-	for rem := p.dir.Resident(global); rem != 0; rem &= rem - 1 {
-		c := bits.TrailingZeros64(rem)
-		if present, l1dirty := p.l1[c].Invalidate(global); present {
-			p.noc.Send(now, bank, c, 0, noc.ClassCtrl)
-			if l1dirty {
-				p.noc.Send(now, c, bank, memsys.LineSize, noc.ClassLine)
-				dirty = true
+	if rem := p.dir.Resident(global); rem != 0 {
+		// All L1s share one geometry, so the line's set/way coordinates
+		// are resolved once (against core 0's L1) and reused for every
+		// probed core. Resolved lazily: most evictions have an empty
+		// resident mask.
+		rg := p.l1[0].Resolve(global)
+		for ; rem != 0; rem &= rem - 1 {
+			c := bits.TrailingZeros64(rem)
+			if present, l1dirty := p.l1[c].InvalidateAt(rg); present {
+				p.noc.Send(now, bank, c, 0, noc.ClassCtrl)
+				if l1dirty {
+					p.noc.Send(now, c, bank, memsys.LineSize, noc.ClassLine)
+					dirty = true
+				}
+				p.dir.Drop(global, c)
+			} else {
+				// Stale residency bit (e.g. the L1 was reset): retract it
+				// so the entry can be reclaimed.
+				p.dir.ClearResident(global, c)
 			}
-			p.dir.Drop(global, c)
-		} else {
-			// Stale residency bit (e.g. the L1 was reset): retract it so
-			// the entry can be reclaimed.
-			p.dir.ClearResident(global, c)
 		}
 	}
 	if dirty {
@@ -330,14 +357,17 @@ func (p *cachePath) evictFromL2(now memsys.Cycles, bank int, victim cache.Evicte
 
 // fillL1 installs line into the core's L1 and handles the victim
 // (directory drop + dirty writeback to the home bank). stream additionally
-// seeds the L1's same-line memo with the filled line.
-func (p *cachePath) fillL1(now memsys.Cycles, core int, line memsys.Addr, write, stream bool) {
+// seeds the L1's same-line memo with the filled line. r is the line's Ref
+// in the core's L1, carried over from the probe that missed; both callers
+// guarantee the known-absent contract (the probe missed and only removals
+// can have touched the L1 since), so the fill skips the presence re-probe.
+func (p *cachePath) fillL1(now memsys.Cycles, core int, r cache.Ref, line memsys.Addr, write, stream bool) {
 	var victim cache.EvictedLine
 	var evicted bool
 	if stream {
-		victim, evicted = p.l1[core].FillStream(line, write)
+		victim, evicted = p.l1[core].FillMissStreamAt(r, write)
 	} else {
-		victim, evicted = p.l1[core].Fill(line, write)
+		victim, evicted = p.l1[core].FillMissAt(r, write)
 	}
 	if !write {
 		// Shared-state bookkeeping already done in miss() for demand reads;

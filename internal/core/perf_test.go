@@ -85,6 +85,58 @@ func BenchmarkAccessPath(b *testing.B) {
 	}
 }
 
+const missN = 1 << 14 // lines in the miss working set (1 MB ≫ scaled caches)
+
+// missMachine builds a baseline machine plus a region sized far beyond
+// its scaled caches, so a stride-one-line sweep misses at every level.
+// KindVtxProp keeps the next-line prefetcher and stream memo out of the
+// measurement.
+func missMachine() (*Machine, *Region) {
+	m, _ := perfMachine(false)
+	r := m.Alloc("miss", missN, memsys.LineSize, memsys.KindVtxProp)
+	return m, r
+}
+
+// BenchmarkMissPath measures the full L1-miss → L2-miss → DRAM fill
+// cascade: NoC request, directory acquire, L2 probe, DRAM access, L2 fill
+// with eviction handling, and the L1 fill. The working set is ~64× the
+// total scaled L2, so after one warm lap every access takes this path.
+func BenchmarkMissPath(b *testing.B) {
+	m, r := missMachine()
+	i := 0
+	body := func(ctx *Ctx) {
+		ctx.Read(r, i&(missN-1))
+		i++
+	}
+	for k := 0; k < missN; k++ { // warm lap: caches, directory, queues
+		m.Sequential(body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		m.Sequential(body)
+	}
+}
+
+// TestMissPathZeroAlloc pins the miss cascade's allocation contract: once
+// warm, a full L1→L2→DRAM miss (including L2 eviction back-invalidation)
+// allocates nothing.
+func TestMissPathZeroAlloc(t *testing.T) {
+	m, r := missMachine()
+	i := 0
+	body := func(ctx *Ctx) {
+		ctx.Read(r, i&(missN-1))
+		i++
+	}
+	for k := 0; k < missN; k++ {
+		m.Sequential(body)
+	}
+	allocs := testing.AllocsPerRun(2000, func() { m.Sequential(body) })
+	if allocs != 0 {
+		t.Fatalf("steady-state miss path allocates %.1f objects/access, want 0", allocs)
+	}
+}
+
 // BenchmarkParallelFor measures scheduler overhead per item: an empty
 // body isolates the heap-based core selection and chunk accounting.
 func BenchmarkParallelFor(b *testing.B) {

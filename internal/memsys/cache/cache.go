@@ -24,17 +24,37 @@ type Config struct {
 	Name string
 }
 
-// flagDirty marks a way dirty (see Cache.flags).
-const flagDirty uint8 = 1
+// setMeta packs one set's per-way bit state into a single 24-byte record,
+// so a fill reads one struct where the old layout touched a pin word and a
+// flag byte array in separate allocations.
+type setMeta struct {
+	// pin has bit w set iff way w holds a valid pinned line (the §IX
+	// "locked cache lines" alternative to scratchpads — pinned lines are
+	// excluded from replacement).
+	pin uint64
+	// dirty has bit w set iff way w holds a modified line.
+	dirty uint64
+	// free has bit w set iff way w is invalid (holds no line). Fills into
+	// a set with free ways install at the lowest free bit — exactly the
+	// first-invalid-way choice of a linear scan — without scanning at
+	// all, which covers every warmup fill and every fill after an
+	// invalidation.
+	free uint64
+}
 
 // Cache is one cache instance. Not safe for concurrent use.
 //
-// Line state is stored structure-of-arrays, indexed by set*Ways+way: a tag
-// probe scans one contiguous run of tagp (64 bytes for an 8-way set — a
-// single hardware cache line), and the LRU stamps and flag bytes are only
-// touched on the way that matters. This layout roughly halves the probe
-// cost of the simulator's hottest loops (findIdx, fill) compared to an
-// array-of-structs set.
+// Line state lives in one struct-of-arrays slab: per set, the tag words of
+// all ways followed by the lastUse words of all ways, contiguously. An
+// 8-way set's entire replacement state is 128 adjacent bytes (two hardware
+// lines), so the probe loop and the victim scan — the simulator's hottest
+// loops — each run over one bounds-check-free contiguous row, and a probe
+// followed by a victim scan touches memory once. Per-way flag bits
+// (dirty/pinned/free) are packed into one setMeta word-triple per set.
+//
+// A way index (as returned by HotWay and accepted by PresentAt/SetLastUse)
+// is the slab index of the way's tag cell; the way's lastUse cell is at
+// index+Ways.
 type Cache struct {
 	cfg      Config
 	ways     int
@@ -47,20 +67,12 @@ type Cache struct {
 	setShift int
 	setMask  uint64
 
-	// tagp[i] holds tag+1 for a valid way and 0 for an invalid one, so a
-	// probe is a single compare per way (an invalid way can never match a
-	// key, which is always >= 1). flags[i] carries the dirty bit;
-	// lastUse[i] implements LRU via the monotonic use counter.
-	tagp    []uint64
-	flags   []uint8
-	lastUse []uint64
-	// pinMask[set] has bit w set iff way w of the set holds a valid pinned
-	// line (the §IX "locked cache lines" alternative to scratchpads —
-	// pinned lines are excluded from replacement). Keeping pin state per
-	// set instead of per way means the fill victim scan touches one word
-	// that is zero in every cache that never pins, instead of the flags
-	// byte of every way.
-	pinMask []uint64
+	// slab[set*2*Ways : set*2*Ways+Ways] holds the set's tag keys (tag+1
+	// for a valid way, 0 for an invalid one, so a probe is a single
+	// compare per way — an invalid way can never match a key, which is
+	// always >= 1); the following Ways words hold the LRU stamps.
+	slab []uint64
+	meta []setMeta
 
 	// hotLine/hotIdx memoize the line of the most recent read hit so a
 	// streaming run of reads to the same 64 B line skips the set probe
@@ -91,17 +103,18 @@ func New(cfg Config) *Cache {
 			cfg.Name, cfg.SizeBytes, setBytes))
 	}
 	numSets := cfg.SizeBytes / setBytes
-	n := numSets * cfg.Ways
 	c := &Cache{
 		cfg:      cfg,
 		ways:     cfg.Ways,
 		numSets:  uint64(numSets),
-		tagp:     make([]uint64, n),
-		flags:    make([]uint8, n),
-		lastUse:  make([]uint64, n),
-		pinMask:  make([]uint64, numSets),
+		slab:     make([]uint64, numSets*2*cfg.Ways),
+		meta:     make([]setMeta, numSets),
 		setShift: -1,
 		hotIdx:   -1,
+	}
+	allFree := c.waysMask()
+	for i := range c.meta {
+		c.meta[i].free = allFree
 	}
 	if numSets&(numSets-1) == 0 {
 		c.setShift = bits.TrailingZeros64(uint64(numSets))
@@ -110,29 +123,54 @@ func New(cfg Config) *Cache {
 	return c
 }
 
+// waysMask returns the bitmask with one bit per way.
+func (c *Cache) waysMask() uint64 { return ^uint64(0) >> uint(64-c.ways) }
+
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
 // Latency returns the hit latency.
 func (c *Cache) Latency() memsys.Cycles { return c.cfg.LatencyCycles }
 
-// locate maps an address to its set index, the set's base index in the way
-// arrays, and the probe key (tag+1).
-func (c *Cache) locate(a memsys.Addr) (set uint64, base int, key uint64) {
-	la := uint64(memsys.LineAddr(a)) / memsys.LineSize
-	if c.setShift >= 0 {
-		set = la & c.setMask
-		return set, int(set) * c.ways, (la >> uint(c.setShift)) + 1
-	}
-	set = la % c.numSets
-	return set, int(set) * c.ways, la/c.numSets + 1
+// Ref is a resolved line coordinate in one cache: set index, the set's
+// tag-row base in the slab, and the probe key. Resolving once and reusing
+// the Ref lets a caller chain probe → fill → invalidate steps on the same
+// line without re-deriving the set arithmetic per step. A Ref stays valid
+// across any content mutation (it encodes address geometry, not state)
+// but is specific to one cache geometry.
+type Ref struct {
+	la   memsys.Addr
+	set  uint64
+	base int
+	key  uint64
 }
 
-// findIdx probes one set for key and returns the matching way's index, or
-// -1. It is the single probe loop behind Lookup, Access, Invalidate, and
-// Pin.
+// Resolve maps an address to its Ref.
+func (c *Cache) Resolve(a memsys.Addr) Ref {
+	la := uint64(memsys.LineAddr(a)) / memsys.LineSize
+	if c.setShift >= 0 {
+		set := la & c.setMask
+		return Ref{
+			la:   memsys.Addr(la * memsys.LineSize),
+			set:  set,
+			base: int(set) * 2 * c.ways,
+			key:  (la >> uint(c.setShift)) + 1,
+		}
+	}
+	set := la % c.numSets
+	return Ref{
+		la:   memsys.Addr(la * memsys.LineSize),
+		set:  set,
+		base: int(set) * 2 * c.ways,
+		key:  la/c.numSets + 1,
+	}
+}
+
+// findIdx probes one set for key and returns the matching way's tag-cell
+// slab index, or -1. It is the single probe loop behind Lookup, Access,
+// Invalidate, and Pin.
 func (c *Cache) findIdx(base int, key uint64) int {
-	for i, t := range c.tagp[base : base+c.ways] {
+	for i, t := range c.slab[base : base+c.ways] {
 		if t == key {
 			return base + i
 		}
@@ -143,9 +181,12 @@ func (c *Cache) findIdx(base int, key uint64) int {
 // Lookup probes the cache without modifying replacement or contents, and
 // reports whether addr is present.
 func (c *Cache) Lookup(a memsys.Addr) bool {
-	_, base, key := c.locate(a)
-	return c.findIdx(base, key) >= 0
+	r := c.Resolve(a)
+	return c.findIdx(r.base, r.key) >= 0
 }
+
+// LookupAt is Lookup over a pre-resolved Ref.
+func (c *Cache) LookupAt(r Ref) bool { return c.findIdx(r.base, r.key) >= 0 }
 
 // Gen returns the cache's line-buffer generation. It advances whenever a
 // line's identity may have changed (fill-evict, invalidation, Reset), so
@@ -177,7 +218,7 @@ func (c *Cache) SameLineReadHit(a memsys.Addr) bool {
 		return false
 	}
 	c.useClock++
-	c.lastUse[c.hotIdx] = c.useClock
+	c.slab[c.hotIdx+c.ways] = c.useClock
 	c.Reads.Observe(true)
 	return true
 }
@@ -187,19 +228,19 @@ func (c *Cache) SameLineReadHit(a memsys.Addr) bool {
 // follow a streaming miss. Seeding is skipped when the fill is rejected
 // (fully pinned set), so the memo never points at an absent line.
 func (c *Cache) FillStream(a memsys.Addr, dirty bool) (victim EvictedLine, evicted bool) {
-	victim, evicted, idx := c.fill(a, dirty)
+	r := c.Resolve(a)
+	victim, evicted, idx := c.fillAt(r, dirty)
 	if idx >= 0 {
-		c.hotLine = memsys.LineAddr(a)
+		c.hotLine = r.la
 		c.hotIdx = idx
 	}
 	return victim, evicted
 }
 
-// HotWay returns the way index (into the flat way arrays) of the
-// same-line memo when it is armed for the line containing a, and -1
-// otherwise. Callers batching same-line reads use it to learn which way a
-// SameLineReadHit would stamp, so the stamps can be applied in bulk later
-// (FoldReadHits/SetLastUse).
+// HotWay returns the way index of the same-line memo when it is armed for
+// the line containing a, and -1 otherwise. Callers batching same-line
+// reads use it to learn which way a SameLineReadHit would stamp, so the
+// stamps can be applied in bulk later (FoldReadHits/SetLastUse).
 func (c *Cache) HotWay(a memsys.Addr) int {
 	if c.hotIdx >= 0 && memsys.LineAddr(a) == c.hotLine {
 		return c.hotIdx
@@ -214,11 +255,11 @@ func (c *Cache) HotWay(a memsys.Addr) int {
 // the check and the caller falls back to a full probe. idx may be stale
 // or from another cache of identical geometry; an out-of-set idx can
 // never match (the set's key is unique to it), but is range-checked
-// against the line's own set anyway so a wild index cannot read a
+// against the line's own tag row anyway so a wild index cannot read a
 // coincidentally equal tag from a different set.
 func (c *Cache) PresentAt(idx int, a memsys.Addr) bool {
-	_, base, key := c.locate(a)
-	return idx >= base && idx < base+c.ways && c.tagp[idx] == key
+	r := c.Resolve(a)
+	return idx >= r.base && idx < r.base+c.ways && c.slab[idx] == r.key
 }
 
 // FoldReadHits applies the accounting of n same-line read hits in one
@@ -235,7 +276,7 @@ func (c *Cache) FoldReadHits(n uint64) uint64 {
 // SetLastUse stamps the LRU clock of way idx, completing a fold: the
 // stamp must be the use-clock value the last replayed hit of that way
 // would have observed.
-func (c *Cache) SetLastUse(idx int, use uint64) { c.lastUse[idx] = use }
+func (c *Cache) SetLastUse(idx int, use uint64) { c.slab[idx+c.ways] = use }
 
 // ArmHot re-seeds the same-line memo with a (line, way) pair the caller
 // has validated via PresentAt — the state a hitting AccessStreamRead of
@@ -256,12 +297,16 @@ type EvictedLine struct {
 // first consult the next level, then call Fill. The hit result lets the
 // hierarchy charge the correct latency chain.
 func (c *Cache) Access(a memsys.Addr, write bool) (hit bool) {
-	_, base, key := c.locate(a)
+	return c.AccessAt(c.Resolve(a), write)
+}
+
+// AccessAt is Access over a pre-resolved Ref.
+func (c *Cache) AccessAt(r Ref, write bool) (hit bool) {
 	c.useClock++
-	if i := c.findIdx(base, key); i >= 0 {
-		c.lastUse[i] = c.useClock
+	if i := c.findIdx(r.base, r.key); i >= 0 {
+		c.slab[i+c.ways] = c.useClock
 		if write {
-			c.flags[i] |= flagDirty
+			c.meta[r.set].dirty |= 1 << uint(i-r.base)
 			c.Writes.Observe(true)
 		} else {
 			c.Reads.Observe(true)
@@ -284,12 +329,16 @@ func (c *Cache) Access(a memsys.Addr, write bool) (hit bool) {
 // evict the stream's memo. Seeding affects only which later reads take
 // the fast path — the replayed accounting is identical either way.
 func (c *Cache) AccessStreamRead(a memsys.Addr) (hit bool) {
-	_, base, key := c.locate(a)
+	return c.AccessStreamReadAt(c.Resolve(a))
+}
+
+// AccessStreamReadAt is AccessStreamRead over a pre-resolved Ref.
+func (c *Cache) AccessStreamReadAt(r Ref) (hit bool) {
 	c.useClock++
-	if i := c.findIdx(base, key); i >= 0 {
-		c.lastUse[i] = c.useClock
+	if i := c.findIdx(r.base, r.key); i >= 0 {
+		c.slab[i+c.ways] = c.useClock
 		c.Reads.Observe(true)
-		c.hotLine = memsys.LineAddr(a)
+		c.hotLine = r.la
 		c.hotIdx = i
 		return true
 	}
@@ -301,81 +350,171 @@ func (c *Cache) AccessStreamRead(a memsys.Addr) (hit bool) {
 // any. If dirty is set the new line is installed dirty (write-allocate
 // stores).
 func (c *Cache) Fill(a memsys.Addr, dirty bool) (victim EvictedLine, evicted bool) {
-	victim, evicted, _ = c.fill(a, dirty)
+	victim, evicted, _ = c.fillAt(c.Resolve(a), dirty)
 	return victim, evicted
 }
 
-// fill is the shared Fill body; it also returns the index of the way
-// holding addr after the fill (-1 when a fully pinned set rejected it).
-//
-// The set is scanned once, resolving presence and victim selection in the
-// same pass: a key match takes the refresh path; otherwise the first
-// invalid way wins (the tail must still be scanned for a key match), and
-// failing that the first minimum-lastUse non-pinned way — the identical
-// outcome of a findIdx probe followed by a separate victim scan.
-func (c *Cache) fill(a memsys.Addr, dirty bool) (victim EvictedLine, evicted bool, installed int) {
-	set, base, key := c.locate(a)
+// FillAt is Fill over a pre-resolved Ref.
+func (c *Cache) FillAt(r Ref, dirty bool) (victim EvictedLine, evicted bool) {
+	victim, evicted, _ = c.fillAt(r, dirty)
+	return victim, evicted
+}
+
+// FillMissAt installs a line the caller has just probed for and missed —
+// the known-absent fill contract: between the missing probe and this call
+// the cache saw no fill (invalidations are fine; they only remove lines),
+// so the present-line refresh probe is skipped entirely. With a free way
+// available the fill then touches exactly one way's state, no scan at all.
+func (c *Cache) FillMissAt(r Ref, dirty bool) (victim EvictedLine, evicted bool) {
 	c.useClock++
-	pinned := c.pinMask[set]
-	// Subslice the way arrays once so the scan indexes bounds-check-free;
-	// this loop dominates the simulator's profile (every L2 fill plus every
-	// pollution fill runs it).
-	tags := c.tagp[base : base+c.ways]
-	uses := c.lastUse[base : base+c.ways]
-	victimIdx := -1
-	haveInvalid := false
-	var victimUse uint64
-	for i, t := range tags {
-		if t == 0 {
-			if !haveInvalid {
-				victimIdx = base + i
-				haveInvalid = true
+	victim, evicted, _ = c.install(r, dirty)
+	return victim, evicted
+}
+
+// FillMissStreamAt is FillMissAt that additionally seeds the same-line
+// memo with the installed line (the known-absent counterpart of
+// FillStream). Seeding is skipped when the fill is rejected (fully pinned
+// set), so the memo never points at an absent line.
+func (c *Cache) FillMissStreamAt(r Ref, dirty bool) (victim EvictedLine, evicted bool) {
+	c.useClock++
+	victim, evicted, idx := c.install(r, dirty)
+	if idx >= 0 {
+		c.hotLine = r.la
+		c.hotIdx = idx
+	}
+	return victim, evicted
+}
+
+// fillAt is the shared Fill body; it also returns the tag-cell index of
+// the way holding addr after the fill (-1 when a fully pinned set rejected
+// it). In the steady-state case — full set, nothing pinned — one fused
+// pass probes the tag row while tracking the LRU victim: a key match wins
+// (refresh), else the first strict-minimum lastUse way, exactly the
+// choices the probe-then-scan sequence makes. Cold or pinned sets take
+// the general probe-then-install path.
+func (c *Cache) fillAt(r Ref, dirty bool) (victim EvictedLine, evicted bool, installed int) {
+	c.useClock++
+	m := &c.meta[r.set]
+	if m.free == 0 && m.pin == 0 {
+		tags := c.slab[r.base : r.base+c.ways]
+		uses := c.slab[r.base+c.ways : r.base+2*c.ways]
+		w := 0
+		min := uses[0]
+		for i, t := range tags {
+			if t == r.key {
+				// Already present (e.g. refilled by a racing path): refresh.
+				uses[i] = c.useClock
+				if dirty {
+					m.dirty |= 1 << uint(i)
+				}
+				return EvictedLine{}, false, r.base + i
 			}
-			continue
-		}
-		if t == key {
-			// Already present (e.g. refilled by a racing path): refresh.
-			c.lastUse[base+i] = c.useClock
-			if dirty {
-				c.flags[base+i] |= flagDirty
+			if u := uses[i]; u < min {
+				w, min = i, u
 			}
-			return EvictedLine{}, false, base + i
 		}
-		if haveInvalid || pinned>>uint(i)&1 != 0 {
-			continue
-		}
-		if victimIdx == -1 || uses[i] < victimUse {
-			victimIdx = base + i
-			victimUse = uses[i]
-		}
-	}
-	// A fully pinned set rejects the fill (the caller treats the access
-	// as uncached).
-	if victimIdx == -1 {
-		return EvictedLine{}, false, -1
-	}
-	if victimIdx == c.hotIdx {
-		c.dropHot()
-	}
-	if t := c.tagp[victimIdx]; t != 0 {
+		t := tags[w]
 		c.Evictions.Inc()
-		d := c.flags[victimIdx]&flagDirty != 0
+		d := m.dirty>>uint(w)&1 != 0
 		if d {
 			c.Writebacks.Inc()
 		}
-		victim = EvictedLine{Addr: c.reconstruct(set, t-1), Dirty: d}
+		victim = EvictedLine{Addr: c.reconstruct(r.set, t-1), Dirty: d}
+		idx := r.base + w
+		if idx == c.hotIdx {
+			c.dropHot()
+		}
+		tags[w] = r.key
+		bit := uint64(1) << uint(w)
+		if dirty {
+			m.dirty |= bit
+		} else {
+			m.dirty &^= bit
+		}
+		uses[w] = c.useClock
+		return victim, true, idx
+	}
+	if i := c.findIdx(r.base, r.key); i >= 0 {
+		// Already present (e.g. refilled by a racing path): refresh.
+		c.slab[i+c.ways] = c.useClock
+		if dirty {
+			m.dirty |= 1 << uint(i-r.base)
+		}
+		return EvictedLine{}, false, i
+	}
+	return c.install(r, dirty)
+}
+
+// install places a known-absent line: lowest free way first (no scan),
+// else the LRU victim among non-pinned ways, else rejection when the
+// whole set is pinned. The use clock has already been ticked by the
+// caller.
+func (c *Cache) install(r Ref, dirty bool) (victim EvictedLine, evicted bool, installed int) {
+	m := &c.meta[r.set]
+	var w int
+	if m.free != 0 {
+		// Free way: the lowest free bit is the first invalid way a linear
+		// scan would pick.
+		w = bits.TrailingZeros64(m.free)
+		m.free &^= 1 << uint(w)
+	} else {
+		// Victim scan over the contiguous lastUse row: first way with the
+		// minimum stamp, skipping pinned ways.
+		uses := c.slab[r.base+c.ways : r.base+2*c.ways]
+		if m.pin == 0 {
+			w = 0
+			min := uses[0]
+			for i := 1; i < len(uses); i++ {
+				if uses[i] < min {
+					w, min = i, uses[i]
+				}
+			}
+		} else {
+			w = -1
+			var min uint64
+			for i, u := range uses {
+				if m.pin>>uint(i)&1 != 0 {
+					continue
+				}
+				if w == -1 || u < min {
+					w, min = i, u
+				}
+			}
+			if w == -1 {
+				// A fully pinned set rejects the fill (the caller treats
+				// the access as uncached).
+				return EvictedLine{}, false, -1
+			}
+		}
+		idx := r.base + w
+		t := c.slab[idx] // valid: free == 0 means every way holds a line
+		c.Evictions.Inc()
+		d := m.dirty>>uint(w)&1 != 0
+		if d {
+			c.Writebacks.Inc()
+		}
+		victim = EvictedLine{Addr: c.reconstruct(r.set, t-1), Dirty: d}
 		evicted = true
 	}
-	// The victim way is never pinned (pinned valid ways are excluded from
-	// selection and pinMask implies valid), so no pinMask update is needed.
-	c.tagp[victimIdx] = key
-	if dirty {
-		c.flags[victimIdx] = flagDirty
-	} else {
-		c.flags[victimIdx] = 0
+	idx := r.base + w
+	if idx == c.hotIdx {
+		// Reached on eviction of the memoized way; for free ways the memo
+		// can never point here (it never points at an invalid way), but
+		// the check keeps the generation contract unconditional.
+		c.dropHot()
 	}
-	c.lastUse[victimIdx] = c.useClock
-	return victim, evicted, victimIdx
+	// The installed way is never pinned (pinned valid ways are excluded
+	// from victim selection and pin implies valid), so no pin update is
+	// needed.
+	c.slab[idx] = r.key
+	bit := uint64(1) << uint(w)
+	if dirty {
+		m.dirty |= bit
+	} else {
+		m.dirty &^= bit
+	}
+	c.slab[idx+c.ways] = c.useClock
+	return victim, evicted, idx
 }
 
 // Pin installs the line containing addr (if absent) and excludes it from
@@ -383,17 +522,17 @@ func (c *Cache) fill(a memsys.Addr, dirty bool) (victim EvictedLine, evicted boo
 // false) when pinning would fill the whole set, which must keep at least
 // one replaceable way.
 func (c *Cache) Pin(a memsys.Addr) bool {
-	set, base, key := c.locate(a)
-	if i := c.findIdx(base, key); i >= 0 {
-		c.pinMask[set] |= 1 << uint(i-base)
+	r := c.Resolve(a)
+	if i := c.findIdx(r.base, r.key); i >= 0 {
+		c.meta[r.set].pin |= 1 << uint(i-r.base)
 		return true
 	}
-	if bits.OnesCount64(c.pinMask[set]) >= c.ways-1 {
+	if bits.OnesCount64(c.meta[r.set].pin) >= c.ways-1 {
 		return false
 	}
-	c.Fill(a, false)
-	if i := c.findIdx(base, key); i >= 0 {
-		c.pinMask[set] |= 1 << uint(i-base)
+	c.FillAt(r, false)
+	if i := c.findIdx(r.base, r.key); i >= 0 {
+		c.meta[r.set].pin |= 1 << uint(i-r.base)
 		return true
 	}
 	return false
@@ -402,8 +541,8 @@ func (c *Cache) Pin(a memsys.Addr) bool {
 // PinnedLines counts pinned lines across the cache.
 func (c *Cache) PinnedLines() int {
 	n := 0
-	for _, m := range c.pinMask {
-		n += bits.OnesCount64(m)
+	for i := range c.meta {
+		n += bits.OnesCount64(c.meta[i].pin)
 	}
 	return n
 }
@@ -411,17 +550,24 @@ func (c *Cache) PinnedLines() int {
 // Invalidate drops the line containing addr if present, returning whether
 // it was present and dirty (the caller is responsible for the writeback).
 func (c *Cache) Invalidate(a memsys.Addr) (present, dirty bool) {
-	set, base, key := c.locate(a)
-	if i := c.findIdx(base, key); i >= 0 {
+	return c.InvalidateAt(c.Resolve(a))
+}
+
+// InvalidateAt is Invalidate over a pre-resolved Ref. Because a Ref
+// encodes only geometry, one Ref can drive the invalidation sweep across
+// every same-geometry cache in a hierarchy.
+func (c *Cache) InvalidateAt(r Ref) (present, dirty bool) {
+	if i := c.findIdx(r.base, r.key); i >= 0 {
 		if i == c.hotIdx {
 			c.dropHot()
 		}
-		present, dirty = true, c.flags[i]&flagDirty != 0
-		c.tagp[i] = 0
-		c.flags[i] = 0
-		if c.pinMask[set] != 0 {
-			c.pinMask[set] &^= 1 << uint(i-base)
-		}
+		m := &c.meta[r.set]
+		bit := uint64(1) << uint(i-r.base)
+		present, dirty = true, m.dirty&bit != 0
+		c.slab[i] = 0
+		m.dirty &^= bit
+		m.pin &^= bit
+		m.free |= bit
 	}
 	return
 }
@@ -443,26 +589,22 @@ func (c *Cache) HitRate() float64 {
 // State is an opaque cache checkpoint: contents, replacement state, the
 // same-line memo, the generation, and statistics.
 type State struct {
-	tagp     []uint64
-	flags    []uint8
-	lastUse  []uint64
-	pinMask  []uint64
+	slab     []uint64
+	meta     []setMeta
 	useClock uint64
 	hotLine  memsys.Addr
 	hotIdx   int
 	gen      uint64
 
-	reads, writes          stats.Ratio
-	evictions, writebacks  stats.Counter
+	reads, writes         stats.Ratio
+	evictions, writebacks stats.Counter
 }
 
 // Snapshot captures the full cache state for later Restore.
 func (c *Cache) Snapshot() State {
 	return State{
-		tagp:       append([]uint64(nil), c.tagp...),
-		flags:      append([]uint8(nil), c.flags...),
-		lastUse:    append([]uint64(nil), c.lastUse...),
-		pinMask:    append([]uint64(nil), c.pinMask...),
+		slab:       append([]uint64(nil), c.slab...),
+		meta:       append([]setMeta(nil), c.meta...),
 		useClock:   c.useClock,
 		hotLine:    c.hotLine,
 		hotIdx:     c.hotIdx,
@@ -477,10 +619,8 @@ func (c *Cache) Snapshot() State {
 // Restore rewinds the cache to a Snapshot (which must come from a cache
 // of identical geometry).
 func (c *Cache) Restore(s State) {
-	copy(c.tagp, s.tagp)
-	copy(c.flags, s.flags)
-	copy(c.lastUse, s.lastUse)
-	copy(c.pinMask, s.pinMask)
+	copy(c.slab, s.slab)
+	copy(c.meta, s.meta)
 	c.useClock = s.useClock
 	c.hotLine = s.hotLine
 	c.hotIdx = s.hotIdx
@@ -495,10 +635,11 @@ func (c *Cache) Restore(s State) {
 // reset — it advances, so memos taken before the Reset can never validate.
 func (c *Cache) Reset() {
 	c.dropHot()
-	clear(c.tagp)
-	clear(c.flags)
-	clear(c.lastUse)
-	clear(c.pinMask)
+	clear(c.slab)
+	allFree := c.waysMask()
+	for i := range c.meta {
+		c.meta[i] = setMeta{free: allFree}
+	}
 	c.useClock = 0
 	c.Reads = stats.Ratio{}
 	c.Writes = stats.Ratio{}

@@ -7,6 +7,7 @@ package dram
 
 import (
 	"fmt"
+	"math/bits"
 
 	"omega/internal/faults"
 	"omega/internal/memsys"
@@ -59,8 +60,21 @@ type DRAM struct {
 	cfg Config
 	// queues model per-channel bandwidth contention.
 	queues []memsys.Queue
-	// openRow per (channel, bank); ^0 means closed.
-	openRow [][]uint64
+	// openRow per (channel, bank), flattened channel-major; ^0 means
+	// closed.
+	openRow []uint64
+
+	// rowShift/chMask/bankMask/bankShift strength-reduce the per-access
+	// channel/bank/row divisions to shift/mask when the geometry is all
+	// powers of two (pow2 false otherwise — sensitivity sweeps use odd
+	// channel counts, so the division path stays live). maxWait folds the
+	// MaxQueue bound into one precomputed compare (^0 = unbounded).
+	pow2      bool
+	chMask    uint64
+	rowShift  uint
+	bankMask  uint64
+	bankShift uint
+	maxWait   memsys.Cycles
 
 	// faults, when attached, injects read bit-flips behind a SECDED ECC
 	// model (nil = no injection, the default).
@@ -86,13 +100,22 @@ func New(cfg Config) *DRAM {
 	d := &DRAM{
 		cfg:     cfg,
 		queues:  make([]memsys.Queue, cfg.Channels),
-		openRow: make([][]uint64, cfg.Channels),
+		openRow: make([]uint64, cfg.Channels*cfg.BanksPerChan),
+		maxWait: ^memsys.Cycles(0),
 	}
 	for i := range d.openRow {
-		d.openRow[i] = make([]uint64, cfg.BanksPerChan)
-		for j := range d.openRow[i] {
-			d.openRow[i][j] = ^uint64(0)
-		}
+		d.openRow[i] = ^uint64(0)
+	}
+	if cfg.MaxQueue > 0 {
+		d.maxWait = memsys.Cycles(cfg.MaxQueue) * cfg.ServiceCyclesPerLine
+	}
+	pow2 := func(n int) bool { return n > 0 && n&(n-1) == 0 }
+	if pow2(cfg.Channels) && pow2(cfg.BanksPerChan) && pow2(cfg.RowBytes) {
+		d.pow2 = true
+		d.chMask = uint64(cfg.Channels) - 1
+		d.rowShift = uint(bits.TrailingZeros(uint(cfg.RowBytes)))
+		d.bankMask = uint64(cfg.BanksPerChan) - 1
+		d.bankShift = uint(bits.TrailingZeros(uint(cfg.BanksPerChan)))
 	}
 	return d
 }
@@ -123,21 +146,36 @@ func (d *DRAM) AccessHint(now memsys.Cycles, addr memsys.Addr, lowLocality bool)
 	return d.access(now, addr, lowLocality, true)
 }
 
-// access is the shared device model behind reads and writebacks.
+// access is the shared device model behind reads and writebacks. The
+// channel/bank/row decomposition, queue bound, and open-row update run as
+// straight-line shift/mask arithmetic on the flattened row array for
+// power-of-two geometries (the strength-reduced form of exactly the
+// divisions below, so every index — and therefore every latency — is
+// unchanged).
 func (d *DRAM) access(now memsys.Cycles, addr memsys.Addr, lowLocality, read bool) memsys.Cycles {
 	la := uint64(memsys.LineAddr(addr))
-	chIdx := (la / memsys.LineSize) % uint64(d.cfg.Channels)
-	bankIdx := (la / uint64(d.cfg.RowBytes)) % uint64(d.cfg.BanksPerChan)
-	row := la / uint64(d.cfg.RowBytes) / uint64(d.cfg.BanksPerChan)
+	var chIdx, slot, row uint64
+	if d.pow2 {
+		chIdx = (la / memsys.LineSize) & d.chMask
+		rb := la >> d.rowShift
+		slot = chIdx<<d.bankShift | (rb & d.bankMask)
+		row = rb >> d.bankShift
+	} else {
+		chIdx = (la / memsys.LineSize) % uint64(d.cfg.Channels)
+		bankIdx := (la / uint64(d.cfg.RowBytes)) % uint64(d.cfg.BanksPerChan)
+		slot = chIdx*uint64(d.cfg.BanksPerChan) + bankIdx
+		row = la / uint64(d.cfg.RowBytes) / uint64(d.cfg.BanksPerChan)
+	}
 
 	wait := d.queues[chIdx].Enqueue(now, d.cfg.ServiceCyclesPerLine)
-	if cap := memsys.Cycles(d.cfg.MaxQueue) * d.cfg.ServiceCyclesPerLine; d.cfg.MaxQueue > 0 && wait > cap {
-		wait = cap
+	if wait > d.maxWait {
+		wait = d.maxWait
 	}
 	d.QueueDelay.Add(uint64(wait))
 	start := now + wait
 	var dev memsys.Cycles
-	if d.openRow[chIdx][bankIdx] == row {
+	open := &d.openRow[slot]
+	if *open == row {
 		dev = d.cfg.RowHitCycles
 		d.RowHits.Observe(true)
 	} else {
@@ -145,9 +183,9 @@ func (d *DRAM) access(now memsys.Cycles, addr memsys.Addr, lowLocality, read boo
 		d.RowHits.Observe(false)
 	}
 	if d.cfg.ClosePage || (d.cfg.Hybrid && lowLocality) {
-		d.openRow[chIdx][bankIdx] = ^uint64(0)
+		*open = ^uint64(0)
 	} else {
-		d.openRow[chIdx][bankIdx] = row
+		*open = row
 	}
 	if read && d.faults != nil {
 		if extra := d.faults.DRAMRead(dev); extra > 0 {
@@ -185,7 +223,7 @@ func (d *DRAM) Utilization(elapsed memsys.Cycles) float64 {
 // State is an opaque DRAM checkpoint.
 type State struct {
 	queues  []memsys.Queue
-	openRow [][]uint64
+	openRow []uint64
 
 	accesses, bytesMoved, queueDelay, eccPenalty stats.Counter
 	rowHits                                      stats.Ratio
@@ -194,9 +232,9 @@ type State struct {
 
 // Snapshot captures the device state for later Restore.
 func (d *DRAM) Snapshot() State {
-	s := State{
+	return State{
 		queues:     append([]memsys.Queue(nil), d.queues...),
-		openRow:    make([][]uint64, len(d.openRow)),
+		openRow:    append([]uint64(nil), d.openRow...),
 		accesses:   d.Accesses,
 		bytesMoved: d.BytesMoved,
 		queueDelay: d.QueueDelay,
@@ -204,18 +242,12 @@ func (d *DRAM) Snapshot() State {
 		rowHits:    d.RowHits,
 		lastBusy:   d.lastBusy,
 	}
-	for i := range d.openRow {
-		s.openRow[i] = append([]uint64(nil), d.openRow[i]...)
-	}
-	return s
 }
 
 // Restore rewinds the device to a Snapshot.
 func (d *DRAM) Restore(s State) {
 	copy(d.queues, s.queues)
-	for i := range d.openRow {
-		copy(d.openRow[i], s.openRow[i])
-	}
+	copy(d.openRow, s.openRow)
 	d.Accesses = s.accesses
 	d.BytesMoved = s.bytesMoved
 	d.QueueDelay = s.queueDelay
@@ -230,9 +262,7 @@ func (d *DRAM) Reset() {
 		d.queues[i].Reset()
 	}
 	for i := range d.openRow {
-		for j := range d.openRow[i] {
-			d.openRow[i][j] = ^uint64(0)
-		}
+		d.openRow[i] = ^uint64(0)
 	}
 	d.Accesses.Reset()
 	d.RowHits = stats.Ratio{}

@@ -8,6 +8,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"omega/internal/faults"
 	"omega/internal/memsys"
@@ -65,12 +66,21 @@ func (c MsgClass) String() string {
 	return fmt.Sprintf("class(%d)", uint8(c))
 }
 
+// classTraffic packs one message class's byte and message counts into
+// adjacent words, so the two per-send counter bumps touch one record
+// instead of two counter arrays.
+type classTraffic struct {
+	bytes, msgs uint64
+}
+
 // Crossbar is the interconnect model. Not safe for concurrent use.
 type Crossbar struct {
 	cfg     Config
 	ports   []memsys.Queue
-	bytesBy [numClasses]stats.Counter
-	msgsBy  [numClasses]stats.Counter
+	traffic [numClasses]classTraffic
+	// busShift strength-reduces the serialization division to a shift
+	// when BusBytes is a power of two (-1 otherwise).
+	busShift int
 	// faults, when attached, drops/delays non-local messages with
 	// bounded retransmission (nil = no injection, the default).
 	faults    *faults.Injector
@@ -84,7 +94,11 @@ func New(cfg Config) *Crossbar {
 	if cfg.Ports <= 0 || cfg.BusBytes <= 0 {
 		panic(fmt.Sprintf("noc: bad config %+v", cfg))
 	}
-	return &Crossbar{cfg: cfg, ports: make([]memsys.Queue, cfg.Ports)}
+	x := &Crossbar{cfg: cfg, ports: make([]memsys.Queue, cfg.Ports), busShift: -1}
+	if cfg.BusBytes&(cfg.BusBytes-1) == 0 {
+		x.busShift = bits.TrailingZeros(uint(cfg.BusBytes))
+	}
+	return x
 }
 
 // Config returns the configuration.
@@ -98,8 +112,11 @@ func (x *Crossbar) AttachFaults(in *faults.Injector) { x.faults = in }
 // now, returning its delivery latency. A control header of CtrlBytes is
 // charged on top of the payload. src == dst models a local hop and is
 // free of traversal latency but still counts traffic when count is set.
+// The body is straight-line: one unsigned range check, one branch for the
+// word-packet sizing, fused per-class traffic accounting, and a shift for
+// the flit count on power-of-two bus widths.
 func (x *Crossbar) Send(now memsys.Cycles, src, dst int, payloadBytes int, class MsgClass) memsys.Cycles {
-	if src < 0 || src >= x.cfg.Ports || dst < 0 || dst >= x.cfg.Ports {
+	if uint(src) >= uint(x.cfg.Ports) || uint(dst) >= uint(x.cfg.Ports) {
 		panic(fmt.Sprintf("noc: port out of range src=%d dst=%d", src, dst))
 	}
 	total := payloadBytes + x.cfg.CtrlBytes
@@ -111,13 +128,19 @@ func (x *Crossbar) Send(now memsys.Cycles, src, dst int, payloadBytes int, class
 			total = 8
 		}
 	}
-	x.bytesBy[class].Add(uint64(total))
-	x.msgsBy[class].Inc()
+	tr := &x.traffic[class]
+	tr.bytes += uint64(total)
+	tr.msgs++
 	if src == dst {
 		return 1
 	}
 	// Serialization: flits of BusBytes per cycle, at least 1.
-	flits := memsys.Cycles((total + x.cfg.BusBytes - 1) / x.cfg.BusBytes)
+	var flits memsys.Cycles
+	if x.busShift >= 0 {
+		flits = memsys.Cycles((total + x.cfg.BusBytes - 1) >> uint(x.busShift))
+	} else {
+		flits = memsys.Cycles((total + x.cfg.BusBytes - 1) / x.cfg.BusBytes)
+	}
 	wait := x.ports[dst].Enqueue(now, flits)
 	if x.cfg.MaxQueueCycles > 0 && wait > x.cfg.MaxQueueCycles {
 		wait = x.cfg.MaxQueueCycles
@@ -128,8 +151,8 @@ func (x *Crossbar) Send(now memsys.Cycles, src, dst int, payloadBytes int, class
 		if extra, resends := x.faults.NoCSend(flits, total); resends > 0 {
 			// Retransmissions are real traffic: count their bytes and
 			// messages, and delay delivery by backoff + re-serialization.
-			x.bytesBy[class].Add(uint64(resends * total))
-			x.msgsBy[class].Add(uint64(resends))
+			tr.bytes += uint64(resends * total)
+			tr.msgs += uint64(resends)
 			x.RetryWait.Add(uint64(extra))
 			lat += extra
 		}
@@ -148,23 +171,22 @@ func (x *Crossbar) RoundTrip(now memsys.Cycles, src, dst int, reqBytes, respByte
 // TotalBytes returns all on-chip traffic in bytes.
 func (x *Crossbar) TotalBytes() uint64 {
 	var t uint64
-	for i := range x.bytesBy {
-		t += x.bytesBy[i].Value()
+	for i := range x.traffic {
+		t += x.traffic[i].bytes
 	}
 	return t
 }
 
 // BytesByClass returns traffic for one class.
-func (x *Crossbar) BytesByClass(c MsgClass) uint64 { return x.bytesBy[c].Value() }
+func (x *Crossbar) BytesByClass(c MsgClass) uint64 { return x.traffic[c].bytes }
 
 // MessagesByClass returns the message count for one class.
-func (x *Crossbar) MessagesByClass(c MsgClass) uint64 { return x.msgsBy[c].Value() }
+func (x *Crossbar) MessagesByClass(c MsgClass) uint64 { return x.traffic[c].msgs }
 
 // State is an opaque crossbar checkpoint.
 type State struct {
 	ports   []memsys.Queue
-	bytesBy [numClasses]stats.Counter
-	msgsBy  [numClasses]stats.Counter
+	traffic [numClasses]classTraffic
 
 	queueWait, retryWait stats.Counter
 }
@@ -173,8 +195,7 @@ type State struct {
 func (x *Crossbar) Snapshot() State {
 	return State{
 		ports:     append([]memsys.Queue(nil), x.ports...),
-		bytesBy:   x.bytesBy,
-		msgsBy:    x.msgsBy,
+		traffic:   x.traffic,
 		queueWait: x.QueueWait,
 		retryWait: x.RetryWait,
 	}
@@ -183,8 +204,7 @@ func (x *Crossbar) Snapshot() State {
 // Restore rewinds the crossbar to a Snapshot.
 func (x *Crossbar) Restore(s State) {
 	copy(x.ports, s.ports)
-	x.bytesBy = s.bytesBy
-	x.msgsBy = s.msgsBy
+	x.traffic = s.traffic
 	x.QueueWait = s.queueWait
 	x.RetryWait = s.retryWait
 }
@@ -194,10 +214,7 @@ func (x *Crossbar) Reset() {
 	for i := range x.ports {
 		x.ports[i].Reset()
 	}
-	for i := range x.bytesBy {
-		x.bytesBy[i].Reset()
-		x.msgsBy[i].Reset()
-	}
+	x.traffic = [numClasses]classTraffic{}
 	x.QueueWait.Reset()
 	x.RetryWait.Reset()
 }
